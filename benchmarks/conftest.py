@@ -1,0 +1,51 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Scale is controlled by ``REPRO_SCALE`` (smoke / standard / full); the
+``standard`` default replays a 5-minute slice of the paper's workload with
+identical arrival rates, service times, and skew.  Each bench regenerates
+one table or figure, asserts its qualitative *shape* against the paper,
+and writes the reproduced rows to ``benchmarks/results/``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig.from_env()
+
+
+@pytest.fixture(scope="session")
+def trace(config):
+    """One trace shared by every bench (generation is not re-measured)."""
+    return config.trace()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a reproduced table and echo it for -s runs."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure a single execution of an experiment driver.
+
+    Simulation runs are deterministic and seconds-long, so one round is
+    both sufficient and what keeps the full harness tractable.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,39 @@
+"""Ablation — how load-bearing is the update register table?
+
+The paper's system model drops a pending update the moment a newer one
+arrives for the same item (§2.1).  With the workload near saturation,
+that invalidation is the relief valve that keeps update-deferring
+policies viable: without it every one of the ~497k updates must be
+applied, the update stream's full demand lands on the CPU, and staleness
+and/or query latency must give.
+
+Shape checks: with invalidation off, (a) no update is ever superseded,
+(b) QH's staleness grows several-fold (every queued duplicate counts and
+must wait its turn), and (c) total profit drops.
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments.ablations import ablation_invalidation
+from repro.experiments.report import format_table
+
+
+def test_ablation_invalidation(benchmark, config, trace, results_dir):
+    rows = run_once(benchmark, ablation_invalidation, config, trace)
+    with_valve = next(r for r in rows if r["register table"].startswith("on"))
+    without_valve = next(r for r in rows if r["register table"] == "off")
+
+    # (a) the toggle really disables supersession.
+    assert without_valve["superseded"] == 0
+    assert with_valve["superseded"] > 0
+
+    # (b) staleness blows up without the valve.
+    assert without_valve["uu"] > 3 * with_valve["uu"]
+
+    # (c) profit suffers.
+    assert without_valve["total%"] < with_valve["total%"]
+
+    save_report(results_dir, "ablation_invalidation",
+                format_table(rows, title="Ablation - update register "
+                                          "table on/off (QH, balanced "
+                                          "QCs)"))

@@ -1,0 +1,42 @@
+"""Ablation — QUTS's pluggable low level (§4's modularity claim).
+
+The paper asserts the high level is the central component and "QUTS can
+utilize any priority scheme" underneath.  We swap the query queue's policy
+(VRD / FCFS / EDF / profit-rate) and the update queue's (FIFO vs the §3.1
+inherited-QoD extension) and check that (a) everything runs, (b) the
+value-aware VRD beats the value-blind FCFS on QoS profit, and (c) the
+spread across low-level choices is second-order next to the high-level
+policy gap (QUTS-any-low-level vs UH)."""
+
+from conftest import run_once, save_report
+
+from repro.experiments.ablations import ablation_low_level
+from repro.experiments.report import format_table
+
+
+def test_ablation_low_level_policies(benchmark, config, trace,
+                                     results_dir):
+    rows = run_once(benchmark, ablation_low_level, config, trace)
+    by_name = {row["low_level"]: row for row in rows}
+
+    vrd = by_name["queries: vrd"]
+    fcfs = by_name["queries: fcfs"]
+    uh = by_name["(UH baseline, for scale)"]
+
+    # Value-aware beats value-blind on QoS profit.
+    assert vrd["QOS%"] >= fcfs["QOS%"] - 1e-9
+
+    # Low-level spread is second-order vs the high-level gap to UH.
+    quts_rows = rows[:-1]
+    spread = (max(r["total%"] for r in quts_rows)
+              - min(r["total%"] for r in quts_rows))
+    high_level_gap = vrd["total%"] - uh["total%"]
+    assert spread < high_level_gap
+
+    # The inherited-QoD update policy is a safe plug-in (no collapse).
+    assert by_name["updates: inherited-QoD"]["total%"] \
+        >= vrd["total%"] - 0.05
+
+    save_report(results_dir, "ablation_low_level",
+                format_table(rows, title="Ablation - QUTS low-level "
+                                          "policies (balanced QCs)"))

@@ -1,0 +1,40 @@
+"""Ablation — cross-class preemption semantics for updates.
+
+DESIGN.md models UH/QH's preemption of a running update as 2PL-HP
+abort-and-restart (default), with a "suspend" alternative that keeps the
+preempted update's progress.  This bench quantifies the choice on QH,
+the policy that preempts updates constantly: restart semantics redoes a
+measurable share of update work and cannot help QoD; suspend does not.
+QUTS is included to show it is insensitive (its slot switches are
+cooperative either way).
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments.ablations import ablation_preemption
+from repro.experiments.report import format_table
+
+
+def test_ablation_update_preemption(benchmark, config, trace,
+                                    results_dir):
+    rows = run_once(benchmark, ablation_preemption, config, trace)
+    cell = {(r["policy"], r["preempted update"]): r for r in rows}
+
+    qh_restart = cell[("QH", "restart")]
+    qh_suspend = cell[("QH", "suspend")]
+    quts_restart = cell[("QUTS", "restart")]
+    quts_suspend = cell[("QUTS", "suspend")]
+
+    # QH with restart semantics really does redo update work...
+    assert qh_restart["update_restarts"] > 100
+    # ... which cannot help its QoD.
+    assert qh_restart["QOD%"] <= qh_suspend["QOD%"] + 0.005
+
+    # QUTS never cross-preempts, so the semantics barely matter.
+    assert abs(quts_restart["total%"] - quts_suspend["total%"]) < 0.01
+    assert quts_restart["update_restarts"] \
+        < qh_restart["update_restarts"] / 10
+
+    save_report(results_dir, "ablation_preemption",
+                format_table(rows, title="Ablation - update preemption "
+                                          "semantics (balanced QCs)"))

@@ -1,0 +1,59 @@
+"""Extension — replicated portal scale-out and QC-aware routing.
+
+The paper's related work ([17]) applies Quality Contracts to replica
+selection.  This bench runs the workload against 1 and 2 QUTS replicas
+(updates broadcast, queries routed) and compares routers:
+
+* scale-out must help: two replicas halve the query load per server
+  while each still pays the full update stream, so latency and total
+  profit cannot get worse;
+* the QC-aware router (freshness-critical queries to the freshest
+  replica) must not lose to round-robin.
+"""
+
+from conftest import run_once, save_report
+
+from repro.cluster import (QCAwareRouter, RoundRobinRouter,
+                           run_cluster_simulation)
+from repro.experiments.report import format_table
+from repro.qc.generator import QCFactory
+from repro.scheduling.quts import QUTSScheduler
+
+
+def _sweep(config, trace):
+    factory = QCFactory.balanced()
+    rows = []
+    results = {}
+    for n_replicas, router, label in (
+            (1, RoundRobinRouter(), "1 replica"),
+            (2, RoundRobinRouter(), "2 replicas, round-robin"),
+            (2, QCAwareRouter(), "2 replicas, qc-aware")):
+        result = run_cluster_simulation(
+            n_replicas, QUTSScheduler, trace, factory, router=router,
+            master_seed=config.run_seed)
+        results[label] = result
+        rows.append({"deployment": label,
+                     "QOS%": result.qos_percent,
+                     "QOD%": result.qod_percent,
+                     "total%": result.total_percent,
+                     "rt_ms": result.mean_response_time})
+    return rows, results
+
+
+def test_cluster_scaleout(benchmark, config, trace, results_dir):
+    rows, results = run_once(benchmark, _sweep, config, trace)
+    single = results["1 replica"]
+    double_rr = results["2 replicas, round-robin"]
+    double_qc = results["2 replicas, qc-aware"]
+
+    # Scale-out helps (or at least never hurts).
+    assert double_rr.mean_response_time <= single.mean_response_time
+    assert double_rr.total_percent >= single.total_percent - 0.01
+
+    # Contract-aware routing does not lose to blind balancing.
+    assert double_qc.total_percent >= double_rr.total_percent - 0.02
+
+    save_report(results_dir, "cluster_scaleout",
+                format_table(rows, title="Extension - replicated portal "
+                                          "(QUTS replicas, balanced "
+                                          "QCs)"))

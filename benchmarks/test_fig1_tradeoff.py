@@ -1,0 +1,41 @@
+"""Figure 1 — the response-time/staleness trade-off of the naive policies.
+
+Paper (full trace): FIFO [322 ms, 0.07 uu], FIFO-UH [11,591 ms, 0 uu],
+FIFO-QH [23 ms, 0.26 uu].  All three points are mutually non-dominating.
+
+Shape checks: FIFO-UH has exactly zero staleness and the worst response
+time (orders of magnitude above FIFO-QH); FIFO-QH has the best response
+time and non-zero staleness; FIFO sits between them on response time.
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments.figures import fig1
+from repro.experiments.report import format_table
+
+
+def test_fig1_tradeoff(benchmark, config, trace, results_dir):
+    rows = run_once(benchmark, fig1, config, trace)
+    by_policy = {row["policy"]: row for row in rows}
+
+    fifo = by_policy["FIFO"]
+    uh = by_policy["FIFO-UH"]
+    qh = by_policy["FIFO-QH"]
+
+    # FIFO-UH: zero staleness, worst (and much worse) response time.
+    assert uh["staleness_uu"] == 0.0
+    assert uh["response_time_ms"] > 10 * fifo["response_time_ms"]
+    assert uh["response_time_ms"] > 100 * qh["response_time_ms"]
+
+    # FIFO-QH: best response time, non-zero staleness.
+    assert qh["response_time_ms"] < fifo["response_time_ms"]
+    assert qh["staleness_uu"] > 0.0
+
+    # FIFO in between on response time; each point is non-dominated.
+    assert (qh["response_time_ms"] < fifo["response_time_ms"]
+            < uh["response_time_ms"])
+    assert fifo["staleness_uu"] > uh["staleness_uu"]
+
+    save_report(results_dir, "fig1_tradeoff",
+                format_table(rows, title="Figure 1 (reproduced) - "
+                                          "response time vs staleness"))

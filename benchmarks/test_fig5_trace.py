@@ -1,0 +1,36 @@
+"""Figure 5 — trace characteristics.
+
+Paper: (a) query rate roughly stationary with small changes plus spikes;
+(b) update rate with a downward trend; (c) per-stock scatter with most
+points below the diagonal (more updates than queries).
+
+Shape checks: each published characteristic, computed from the generated
+trace itself.
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments.figures import fig5
+from repro.experiments.report import format_table
+
+
+def test_fig5_trace_characteristics(benchmark, config, results_dir):
+    data = run_once(benchmark, fig5, config)
+    summary = data["summary"]
+
+    # (a) stationary base rate: the paper's full-trace mean is ~45.6/s.
+    assert 30.0 <= summary["query_rate_mean"] <= 65.0
+    # ... with visible spikes above the base (flash crowds).
+    assert summary["query_rate_max"] > 1.5 * summary["query_rate_mean"]
+
+    # (b) downward update trend.
+    assert (summary["update_rate_first_half"]
+            > summary["update_rate_second_half"])
+
+    # (c) most stocks get more updates than queries.
+    assert summary["fraction_below_diagonal"] > 0.5
+
+    save_report(results_dir, "fig5_trace",
+                format_table([summary],
+                             title="Figure 5 (reproduced) - trace "
+                                   "characteristics"))

@@ -1,0 +1,59 @@
+"""Figure 6 — step vs linear QCs for FIFO / UH / QH / QUTS (balanced).
+
+Paper: QUTS gains the highest total profit, taking "the best profit
+dimension of the other policies: high QoS from QH and high QoD from UH".
+QH's QoS is near-maximal, UH's QoD is near-maximal, FIFO has the worst
+QoS.  Linear QCs show the same ordering at a slightly lower level.
+
+Shape checks implement those statements with small noise tolerances.
+(Known deviation, documented in EXPERIMENTS.md: with exactly balanced
+preferences Eq. 4 drives rho to 1, so QUTS and QH coincide within noise
+instead of QUTS strictly dominating.)
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments.figures import fig6
+from repro.experiments.report import format_table
+
+#: With exactly balanced preferences Eq. 4 drives rho to 1 and QUTS
+#: degenerates to QH-with-atom-time-granularity; the tau-grained switching
+#: costs it up to ~3% total profit against QH's instant preemption (more
+#: under linear QCs, where every extra millisecond of latency is priced).
+#: EXPERIMENTS.md discusses this as the one known deviation from Figure 6.
+TOLERANCE = 0.035
+
+
+def test_fig6_step_vs_linear(benchmark, config, trace, results_dir):
+    data = run_once(benchmark, fig6, config, trace)
+
+    for shape in ("step", "linear"):
+        rows = {row["policy"]: row for row in data[shape]}
+        quts, qh, uh, fifo = (rows["QUTS"], rows["QH"], rows["UH"],
+                              rows["FIFO"])
+
+        # QUTS takes the best of both dimensions.
+        assert quts["QOS%"] >= uh["QOS%"] - TOLERANCE, shape
+        assert quts["QOS%"] >= fifo["QOS%"] - TOLERANCE, shape
+        assert quts["QOD%"] >= qh["QOD%"] - TOLERANCE, shape
+        # ... and the best total within tolerance.
+        best = max(r["total%"] for r in rows.values())
+        assert quts["total%"] >= best - TOLERANCE, shape
+
+        # The fixed policies show their fixed-priority signatures.
+        assert qh["QOS%"] > uh["QOS%"], shape
+        assert uh["QOD%"] >= qh["QOD%"] - TOLERANCE, shape
+        # FIFO ignores deadlines: worst-or-near-worst QoS.
+        assert fifo["QOS%"] <= min(qh["QOS%"], quts["QOS%"]), shape
+
+    # Linear QCs pay strictly less than step QCs at the same latencies
+    # (profit decays from time zero), so QUTS's step total exceeds linear.
+    step_quts = next(r for r in data["step"] if r["policy"] == "QUTS")
+    linear_quts = next(r for r in data["linear"] if r["policy"] == "QUTS")
+    assert step_quts["total%"] >= linear_quts["total%"]
+
+    for shape in ("step", "linear"):
+        save_report(results_dir, f"fig6_{shape}",
+                    format_table(data[shape],
+                                 title=f"Figure 6 (reproduced) - {shape} "
+                                       f"QCs"))

@@ -1,0 +1,38 @@
+"""Figure 7 — FIFO across the Table 4 QC spectrum.
+
+Paper: "FIFO gains the worst QoS profit percentage because it ignores the
+time constraints that users specified.  Thus, although FIFO has a decent
+QoD profit, it still cannot avoid to have the worst total profit
+percentage."
+
+Shape checks: FIFO's QoS% falls well short of the attainable QOSmax% at
+every mix, while its QoD% stays a sizeable fraction of QODmax% ("decent").
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments.figures import fig7
+from repro.experiments.report import format_table
+
+
+def test_fig7_fifo_spectrum(benchmark, config, trace, results_dir):
+    rows = run_once(benchmark, fig7, config, trace)
+    assert len(rows) == 9
+
+    for row in rows:
+        qos_max_percent = row["QOSmax%"]
+        qod_max_percent = 1.0 - qos_max_percent
+        # Deadline-blind: a large part of the QoS profit is forfeited.
+        assert row["QOS%"] <= 0.8 * qos_max_percent + 1e-9, row
+        # "Decent QoD profit": at least half of the attainable QoD.
+        assert row["QOD%"] >= 0.5 * qod_max_percent, row
+        assert row["total%"] <= 1.0
+
+    # The spectrum is monotone in construction: QoD share of the maxima
+    # rises left to right, so gained QoD profit percentage rises too.
+    qod_gains = [row["QOD%"] for row in rows]
+    assert qod_gains[-1] > qod_gains[0]
+
+    save_report(results_dir, "fig7_fifo_spectrum",
+                format_table(rows, title="Figure 7 (reproduced) - FIFO "
+                                         "across the QC spectrum"))

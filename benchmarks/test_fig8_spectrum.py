@@ -1,0 +1,61 @@
+"""Figure 8 — UH / QH / QUTS across the Table 4 QC spectrum.
+
+Paper: UH gains almost the maximal QoD but performs poorly on QoS; QH
+gains almost the maximal QoS but "relative poorly" on QoD; QUTS gains
+close to the maximum on both at every mix, "consistently performing better
+or as good as the best of the two policies", with headline improvements of
+up to 101.3% over UH and up to 40.1% over QH.
+
+Shape checks: the three signatures, QUTS >= max(UH, QH) - tolerance at
+every mix, and a materially positive best-case improvement over each.
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments.figures import fig8
+from repro.experiments.report import format_table
+
+TOLERANCE = 0.02
+
+
+def test_fig8_spectrum(benchmark, config, trace, results_dir):
+    data = run_once(benchmark, fig8, config, trace)
+    uh_rows, qh_rows, quts_rows = data["UH"], data["QH"], data["QUTS"]
+
+    for uh, qh, quts in zip(uh_rows, qh_rows, quts_rows):
+        qos_max = quts["QOSmax%"]
+        qod_max = 1.0 - qos_max
+
+        # UH: near-maximal QoD, poor QoS.
+        assert uh["QOD%"] >= 0.75 * qod_max, uh
+        assert uh["QOS%"] < qh["QOS%"], uh
+
+        # QH: near-maximal QoS.
+        assert qh["QOS%"] >= 0.85 * qos_max, qh
+
+        # QUTS: at least as good as the best fixed policy.
+        assert quts["total%"] >= max(uh["total%"], qh["total%"]) \
+            - TOLERANCE, quts
+
+    # QUTS's QoD advantage over QH appears on the QoD-heavy side, where
+    # Eq. 4 keeps rho < 1 and updates get protected atom-time slots.
+    qod_heavy = -1  # QODmax% = 0.9
+    assert quts_rows[qod_heavy]["QOD%"] > qh_rows[qod_heavy]["QOD%"]
+
+    # Headline improvements: materially positive somewhere on the sweep.
+    improvements = data["improvements"]
+    best_vs_uh = max(row["QUTS_vs_UH_%"] for row in improvements)
+    best_vs_qh = max(row["QUTS_vs_QH_%"] for row in improvements)
+    assert best_vs_uh > 10.0
+    assert best_vs_qh > 0.0
+
+    for name, rows in (("uh", uh_rows), ("qh", qh_rows),
+                       ("quts", quts_rows)):
+        save_report(results_dir, f"fig8_{name}",
+                    format_table(rows,
+                                 title=f"Figure 8 (reproduced) - "
+                                       f"{name.upper()}"))
+    save_report(results_dir, "fig8_improvements",
+                format_table(improvements,
+                             title="QUTS improvement over UH / QH "
+                                   "(paper: up to 101.3% / 40.1%)"))

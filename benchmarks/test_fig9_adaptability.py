@@ -1,0 +1,56 @@
+"""Figure 9 — QUTS adaptability to flip-flopping user preferences.
+
+Paper: over four 75 s intervals the qosmax:qodmax ratio flips between 1:5
+and 5:1.  The gained profit closely follows the submitted maximum (a-c),
+and ρ "tracks" the QoS share, ranging from around 0.6 to around 1 (d),
+re-converging within a couple of adaptation periods of each flip.
+
+Shape checks: per-phase mean ρ near 0.6 in QoD-heavy phases and near 1 in
+QoS-heavy phases; total gained profit a large fraction of the maximum.
+"""
+
+import statistics
+
+from conftest import run_once, save_report
+
+from repro.experiments.figures import fig9
+from repro.experiments.report import format_series, format_table
+
+
+def test_fig9_adaptability(benchmark, config, trace, results_dir):
+    data = run_once(benchmark, fig9, config, trace)
+    result = data["result"]
+
+    # (a-c): the gained profit tracks the ideal maximum closely.
+    assert result.total_percent > 0.75
+
+    # (d): rho per phase. Eq. 4 predicts 0.6 for 1:5 and 1.0 for 5:1.
+    for phase in data["phase_rho"]:
+        if phase["ratio_qos_to_qod"] < 1.0:
+            assert 0.52 <= phase["mean_rho"] <= 0.72, phase
+        else:
+            assert phase["mean_rho"] >= 0.90, phase
+
+    # rho re-converges after each flip: the last rho samples inside each
+    # phase sit close to the phase's Eq. 4 target.
+    rho = data["rho_series"]
+    from repro.experiments.figures import FIG9_PHASE_MS
+    for phase in data["phase_rho"]:
+        start = phase["phase"] * FIG9_PHASE_MS
+        end = start + FIG9_PHASE_MS
+        tail = [v for t, v in rho.items()
+                if start + 0.6 * FIG9_PHASE_MS <= t < end]
+        if not tail:
+            continue
+        target = 0.6 if phase["ratio_qos_to_qod"] < 1.0 else 1.0
+        assert abs(statistics.fmean(tail) - target) < 0.08, phase
+
+    save_report(results_dir, "fig9_phase_rho",
+                format_table(data["phase_rho"],
+                             title="Figure 9d (reproduced) - mean rho per "
+                                   "phase (targets: 0.6 / 1.0)"))
+    series = data["gained_total"]
+    save_report(results_dir, "fig9_profit",
+                format_series(series.times, series.values,
+                              title="Figure 9a (reproduced) - gained "
+                                    "profit per second, 5 s window"))

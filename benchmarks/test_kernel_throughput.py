@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These are the only benches measuring wall-clock performance rather than
+reproduced results: the event-loop rate of the DES kernel and the
+end-to-end simulated-transaction rate of the full stack.  They guard
+against performance regressions that would make the full-scale
+experiments impractical (the 30-minute trace replays ~580k transactions).
+"""
+
+from repro.experiments.runner import run_simulation
+from repro.qc.generator import QCFactory
+from repro.scheduling import QUTSScheduler
+from repro.sim import Environment
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+
+N_TIMEOUT_EVENTS = 50_000
+
+
+def _timeout_storm():
+    env = Environment()
+    fired = [0]
+
+    def ticker(env):
+        for __ in range(N_TIMEOUT_EVENTS):
+            yield env.timeout(1.0)
+            fired[0] += 1
+
+    env.process(ticker(env))
+    env.run()
+    return fired[0]
+
+
+def test_kernel_event_rate(benchmark):
+    fired = benchmark(_timeout_storm)
+    assert fired == N_TIMEOUT_EVENTS
+    # Sanity floor: a pure-Python DES should clear well over 100k
+    # timeout events per second on any modern machine.
+    events_per_second = N_TIMEOUT_EVENTS / benchmark.stats["mean"]
+    assert events_per_second > 100_000
+
+
+def _end_to_end_slice():
+    trace = StockWorkloadGenerator(WorkloadSpec().scaled(10_000.0),
+                                   master_seed=3).generate()
+    result = run_simulation(QUTSScheduler(), trace, QCFactory.balanced(),
+                            master_seed=1, drain_ms=5_000.0)
+    return result, len(trace.queries) + len(trace.updates)
+
+
+def test_end_to_end_transaction_rate(benchmark):
+    result, n_txns = benchmark.pedantic(_end_to_end_slice, rounds=3,
+                                        iterations=1, warmup_rounds=1)
+    assert result.counters["queries_submitted"] > 0
+    txns_per_second = n_txns / benchmark.stats["mean"]
+    # The full 30-minute trace (~580k txns) must stay replayable in
+    # minutes: demand at least 10k simulated transactions per second.
+    assert txns_per_second > 10_000

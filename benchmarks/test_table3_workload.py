@@ -1,0 +1,39 @@
+"""Table 3 — workload information and system parameters.
+
+Paper (30 min): 82,129 queries / 496,892 updates / 4,608 stocks; query
+execution 5-9 ms; update execution 1-5 ms; tau = 10 ms; omega = 1000 ms.
+
+Shape checks: totals scale linearly with the configured duration; service
+times stay inside the published ranges; the stock universe is the paper's.
+"""
+
+from conftest import run_once, save_report
+
+from repro.experiments.report import format_table
+from repro.experiments.tables import table3
+from repro.workload.synthetic import (PAPER_DURATION_MS, PAPER_N_QUERIES,
+                                      PAPER_N_STOCKS, PAPER_N_UPDATES)
+
+
+def test_table3_workload(benchmark, config, trace, results_dir):
+    rows = run_once(benchmark, table3, config)
+    values = dict(rows)
+
+    scale = config.duration_ms / PAPER_DURATION_MS
+    n_queries = int(values["# queries"])
+    n_updates = int(values["# updates"])
+    assert abs(n_queries - PAPER_N_QUERIES * scale) \
+        <= 0.15 * PAPER_N_QUERIES * scale
+    assert abs(n_updates - PAPER_N_UPDATES * scale) \
+        <= 0.15 * PAPER_N_UPDATES * scale
+    assert int(values["# stocks"]) <= PAPER_N_STOCKS
+
+    assert values["query execution time"] == "5 ~ 9ms"
+    assert values["update execution time"].startswith("1 ~ ")
+    assert values["default atom time (tau)"] == "10ms"
+    assert values["default adaptation period (omega)"] == "1000ms"
+
+    save_report(results_dir, "table3_workload",
+                format_table([{"parameter": k, "value": v}
+                              for k, v in rows],
+                             title="Table 3 (reproduced)"))

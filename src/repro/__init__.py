@@ -1,0 +1,76 @@
+"""repro — Quality Contracts and QUTS scheduling for web-databases.
+
+A from-scratch, production-quality reproduction of
+
+    Huiming Qu, Alexandros Labrinidis.
+    "Preference-Aware Query and Update Scheduling in Web-databases."
+    ICDE 2007.
+
+The package layers:
+
+* :mod:`repro.sim` — a discrete-event simulation kernel;
+* :mod:`repro.db` — the main-memory web-database (items, update register
+  table, 2PL-HP locks, preemptive single-CPU server);
+* :mod:`repro.qc` — Quality Contracts (step/linear/piecewise profit
+  functions over QoS and QoD);
+* :mod:`repro.scheduling` — FIFO, UH, QH baselines and the QUTS two-level
+  scheduler;
+* :mod:`repro.workload` — a synthetic Stock.com/NYSE trace generator;
+* :mod:`repro.metrics` — profit ledgers and run results;
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+
+Quickstart::
+
+    from repro import (QCFactory, QUTSScheduler, paper_trace,
+                       run_simulation)
+
+    trace = paper_trace(duration_ms=60_000)
+    result = run_simulation(QUTSScheduler(), trace, QCFactory.balanced())
+    print(result.total_percent)
+"""
+
+from repro.db import Database, DatabaseServer, Query, ServerConfig, Update
+from repro.experiments import ExperimentConfig, run_simulation
+from repro.metrics import ProfitLedger, SimulationResult
+from repro.qc import (CompositionMode, LinearProfit, PhasedQCFactory,
+                      PiecewiseLinearProfit, QCFactory, QualityContract,
+                      StepProfit)
+from repro.scheduling import (FIFOScheduler, QUTSScheduler, make_qh,
+                              make_scheduler, make_uh, optimal_rho)
+from repro.sim import Environment, StreamRegistry
+from repro.workload import (StockWorkloadGenerator, Trace, WorkloadSpec,
+                            paper_trace)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompositionMode",
+    "Database",
+    "DatabaseServer",
+    "Environment",
+    "ExperimentConfig",
+    "FIFOScheduler",
+    "LinearProfit",
+    "PhasedQCFactory",
+    "PiecewiseLinearProfit",
+    "ProfitLedger",
+    "QCFactory",
+    "QUTSScheduler",
+    "QualityContract",
+    "Query",
+    "ServerConfig",
+    "SimulationResult",
+    "StepProfit",
+    "StockWorkloadGenerator",
+    "StreamRegistry",
+    "Trace",
+    "Update",
+    "WorkloadSpec",
+    "make_qh",
+    "make_scheduler",
+    "make_uh",
+    "optimal_rho",
+    "paper_trace",
+    "run_simulation",
+    "__version__",
+]

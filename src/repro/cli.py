@@ -1,0 +1,247 @@
+"""Command-line interface: ``repro <experiment> [--scale ...]``.
+
+Examples::
+
+    repro fig1                 # the naive-policy trade-off triangle
+    repro fig8 --scale smoke   # the QC spectrum, 1-minute workload
+    repro fig9                 # adaptability + the rho trajectory
+    repro table3               # workload information
+    repro run --policy QUTS    # a single simulation with default QCs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.experiments import (ABLATIONS, ExperimentConfig, fig1, fig5,
+                               fig6, fig7, fig8, fig9, fig10,
+                               format_series, format_table, run_simulation,
+                               save_csv, table3, table4)
+from repro.qc.generator import QCFactory
+from repro.scheduling import make_scheduler
+
+EXPERIMENTS = ("fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+               "table3", "table4", "run", "ablation", "export")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Preference-Aware Query and Update "
+                    "Scheduling in Web-databases' (ICDE 2007)")
+    parser.add_argument("experiment", choices=EXPERIMENTS,
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", default=None,
+                        choices=("smoke", "standard", "full"),
+                        help="workload scale (default: $REPRO_SCALE or "
+                             "'standard')")
+    parser.add_argument("--policy", default="QUTS",
+                        help="policy for 'run' (FIFO/UH/QH/QUTS/...)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="simulation master seed for 'run'")
+    parser.add_argument("--which", default="rho",
+                        choices=sorted(ABLATIONS),
+                        help="which sweep for 'ablation'")
+    parser.add_argument("--out", default="figure_data",
+                        help="output directory for 'export'")
+    parser.add_argument("--figures", default="fig1,fig7,fig8,fig9,fig10",
+                        help="comma-separated figure list for 'export'")
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ExperimentConfig.from_env(args.scale)
+    handler = _HANDLERS[args.experiment]
+    try:
+        handler(config, args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _cmd_fig1(config: ExperimentConfig, args) -> None:
+    rows = fig1(config)
+    print(format_table(rows, title="Figure 1 - response time vs staleness "
+                                   "(naive policies, no QCs)"))
+
+
+def _cmd_fig5(config: ExperimentConfig, args) -> None:
+    data = fig5(config)
+    print(format_table([data["summary"]],
+                       title="Figure 5 - trace characteristics"))
+    rates = data["query_rates"]
+    print(format_series(list(rates.seconds), [float(c) for c in rates.counts],
+                        title="Figure 5a - queries per second"))
+    rates = data["update_rates"]
+    print(format_series(list(rates.seconds), [float(c) for c in rates.counts],
+                        title="Figure 5b - updates per second"))
+
+
+def _cmd_fig6(config: ExperimentConfig, args) -> None:
+    data = fig6(config)
+    for shape, rows in data.items():
+        print(format_table(rows, title=f"Figure 6 - {shape} QCs"))
+        print()
+
+
+def _cmd_fig7(config: ExperimentConfig, args) -> None:
+    print(format_table(fig7(config),
+                       title="Figure 7 - FIFO across the QC spectrum"))
+
+
+def _cmd_fig8(config: ExperimentConfig, args) -> None:
+    data = fig8(config)
+    for policy in ("UH", "QH", "QUTS"):
+        print(format_table(data[policy], title=f"Figure 8 - {policy}"))
+        print()
+    print(format_table(data["improvements"],
+                       title="QUTS improvement over UH / QH"))
+
+
+def _cmd_fig9(config: ExperimentConfig, args) -> None:
+    data = fig9(config)
+    print(format_table(data["phase_rho"],
+                       title="Figure 9d - mean rho per preference phase"))
+    result = data["result"]
+    print(f"\nQUTS under changing QCs: total%={result.total_percent:.3f} "
+          f"QOS%={result.qos_percent:.3f} QOD%={result.qod_percent:.3f}")
+    series = data["gained_total"]
+    print(format_series(series.times, series.values,
+                        title="Figure 9a - gained profit per second "
+                              "(5 s moving window)"))
+    rho = data["rho_series"]
+    print(format_series(rho.times, rho.values,
+                        title="Figure 9d - rho over time"))
+
+
+def _cmd_fig10(config: ExperimentConfig, args) -> None:
+    data = fig10(config)
+    print(format_table(data["omega"],
+                       title="Figure 10a - sensitivity to adaptation "
+                             "period omega"))
+    print()
+    print(format_table(data["tau"],
+                       title="Figure 10b - sensitivity to atom time tau"))
+
+
+def _cmd_table3(config: ExperimentConfig, args) -> None:
+    rows = [{"parameter": k, "value": v} for k, v in table3(config)]
+    print(format_table(rows, title="Table 3 - workload information"))
+
+
+def _cmd_table4(config: ExperimentConfig, args) -> None:
+    print(format_table(table4(), title="Table 4 - QC grid"))
+
+
+def _cmd_run(config: ExperimentConfig, args) -> None:
+    trace = config.trace()
+    result = run_simulation(make_scheduler(args.policy), trace,
+                            QCFactory.balanced(), master_seed=args.seed)
+    print(format_table([{
+        "policy": result.scheduler_name,
+        "QOS%": result.qos_percent,
+        "QOD%": result.qod_percent,
+        "total%": result.total_percent,
+        "rt_ms": result.mean_response_time,
+        "uu": result.mean_staleness,
+    }], title=f"{args.policy} on {trace.name} ({config.scale})"))
+    print()
+    counters = [{"counter": k, "value": v}
+                for k, v in result.counters.items()]
+    print(format_table(counters, title="outcome counters"))
+
+
+def _cmd_ablation(config: ExperimentConfig, args) -> None:
+    rows = ABLATIONS[args.which](config)
+    print(format_table(rows, title=f"Ablation - {args.which} "
+                                   f"({config.scale} scale)"))
+
+
+def _cmd_export(config: ExperimentConfig, args) -> None:
+    """Write each requested figure's data as CSV files under --out."""
+    import pathlib
+
+    out = pathlib.Path(args.out)
+    wanted = [name.strip() for name in args.figures.split(",")
+              if name.strip()]
+    unknown = set(wanted) - set(_EXPORTERS)
+    if unknown:
+        raise SystemExit(f"cannot export {sorted(unknown)}; choose from "
+                         f"{sorted(_EXPORTERS)}")
+    trace = config.trace()
+    for name in wanted:
+        for suffix, rows in _EXPORTERS[name](config, trace):
+            target = out / f"{name}{suffix}.csv"
+            save_csv(rows, target)
+            print(f"wrote {target} ({len(rows)} rows)")
+
+
+def _export_fig1(config, trace):
+    yield "", fig1(config, trace=trace)
+
+
+def _export_fig7(config, trace):
+    yield "", fig7(config, trace=trace)
+
+
+def _export_fig8(config, trace):
+    data = fig8(config, trace=trace)
+    for policy in ("UH", "QH", "QUTS"):
+        yield f"_{policy.lower()}", data[policy]
+    yield "_improvements", data["improvements"]
+
+
+def _export_fig9(config, trace):
+    data = fig9(config, trace=trace)
+    yield "_phase_rho", data["phase_rho"]
+    rho = data["rho_series"]
+    yield "_rho_series", [{"t_ms": t, "rho": v} for t, v in rho.items()]
+    gained = data["gained_total"]
+    maxima = data["max_total"]
+    yield "_profit", [{"t_ms": t, "gained": g, "max": m}
+                      for (t, g), (__, m) in zip(gained.items(),
+                                                 maxima.items())]
+
+
+def _export_fig10(config, trace):
+    data = fig10(config, trace=trace)
+    yield "_omega", data["omega"]
+    yield "_tau", data["tau"]
+
+
+_EXPORTERS = {
+    "fig1": _export_fig1,
+    "fig7": _export_fig7,
+    "fig8": _export_fig8,
+    "fig9": _export_fig9,
+    "fig10": _export_fig10,
+}
+
+
+_HANDLERS = {
+    "ablation": _cmd_ablation,
+    "export": _cmd_export,
+    "fig1": _cmd_fig1,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "fig9": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "run": _cmd_run,
+}
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Replicated-portal extension: update broadcast + QC-aware query routing.
+
+The paper's related work ([17], WebDB 2006) applies Quality Contracts to
+replica selection; this subpackage provides that deployment shape on top
+of the single-server substrate.
+"""
+
+from .portal import ReplicaHandle, ReplicatedPortal
+from .routers import (LeastLoadedRouter, QCAwareRouter, RoundRobinRouter,
+                      Router)
+from .runner import ClusterResult, run_cluster_simulation
+
+__all__ = [
+    "ClusterResult",
+    "LeastLoadedRouter",
+    "QCAwareRouter",
+    "ReplicaHandle",
+    "ReplicatedPortal",
+    "RoundRobinRouter",
+    "Router",
+    "run_cluster_simulation",
+]

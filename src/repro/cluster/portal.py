@@ -1,0 +1,143 @@
+"""A replicated web-database portal (extension; cf. [17]).
+
+``ReplicatedPortal`` runs ``n`` independent replicas inside one simulated
+environment.  Each replica is a complete single-CPU
+:class:`~repro.db.server.DatabaseServer` with its own database, lock
+manager, scheduler, and profit ledger.  Updates are *broadcast*: every
+replica receives its own copy of each update and applies (or supersedes)
+it independently — the paper's data model, where sources push every
+update to every replica.  Queries are *routed*: a
+:class:`~repro.cluster.routers.Router` picks the replica that serves
+each one, and that replica's staleness is what the query observes.
+
+The portal aggregates the per-replica ledgers into cluster-level profit
+percentages comparable with single-server results.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.db.database import Database
+from repro.db.server import DatabaseServer, ServerConfig
+from repro.db.transactions import Query, Update
+from repro.metrics.profit import ProfitLedger
+from repro.scheduling.base import Scheduler
+from repro.sim import Environment
+from repro.sim.rng import StreamRegistry
+
+from .routers import Router, RoundRobinRouter
+
+
+class ReplicaHandle:
+    """One replica: server + ledger, with the cheap state routers read."""
+
+    def __init__(self, index: int, server: DatabaseServer,
+                 ledger: ProfitLedger) -> None:
+        self.index = index
+        self.server = server
+        self.ledger = ledger
+
+    def pending_queries(self) -> int:
+        return self.server.scheduler.pending_queries()
+
+    def pending_updates(self) -> int:
+        return self.server.scheduler.pending_updates()
+
+    def __repr__(self) -> str:
+        return (f"<ReplicaHandle #{self.index} "
+                f"q={self.pending_queries()} u={self.pending_updates()}>")
+
+
+class ReplicatedPortal:
+    """``n`` replicas behind a query router, sharing one clock."""
+
+    def __init__(self, env: Environment, n_replicas: int,
+                 scheduler_factory: typing.Callable[[], Scheduler],
+                 streams: StreamRegistry,
+                 router: Router | None = None,
+                 server_config: ServerConfig | None = None) -> None:
+        if n_replicas <= 0:
+            raise ValueError("need at least one replica")
+        self.env = env
+        self.router = router or RoundRobinRouter()
+        self.replicas: list[ReplicaHandle] = []
+        for index in range(n_replicas):
+            ledger = ProfitLedger()
+            server = DatabaseServer(
+                env, Database(), scheduler_factory(), ledger,
+                streams.spawn(f"replica-{index}"),
+                config=server_config)
+            self.replicas.append(ReplicaHandle(index, server, ledger))
+        #: Queries routed per replica (for balance inspection).
+        self.routed_counts = [0] * n_replicas
+
+    def __repr__(self) -> str:
+        return (f"<ReplicatedPortal n={len(self.replicas)} "
+                f"router={self.router.name}>")
+
+    # ------------------------------------------------------------------
+    def submit_query(self, query: Query) -> int:
+        """Route and submit; returns the serving replica's index."""
+        index = self.router.choose(query, self.replicas)
+        if not 0 <= index < len(self.replicas):
+            raise ValueError(f"router chose invalid replica {index}")
+        self.routed_counts[index] += 1
+        self.replicas[index].server.submit_query(query)
+        return index
+
+    def broadcast_update(self, arrival_time: float, exec_ms: float,
+                         item: str, value: float) -> None:
+        """Every replica gets its own copy of the update."""
+        for replica in self.replicas:
+            replica.server.submit_update(
+                Update(arrival_time, exec_ms, item, value=value))
+
+    def finalize(self) -> None:
+        for replica in self.replicas:
+            replica.server.finalize()
+
+    # ------------------------------------------------------------------
+    # Cluster-level aggregates
+    # ------------------------------------------------------------------
+    @property
+    def total_max(self) -> float:
+        return sum(r.ledger.total_max for r in self.replicas)
+
+    @property
+    def total_gained(self) -> float:
+        return sum(r.ledger.total_gained for r in self.replicas)
+
+    @property
+    def total_percent(self) -> float:
+        total_max = self.total_max
+        return self.total_gained / total_max if total_max else 0.0
+
+    @property
+    def qos_percent(self) -> float:
+        total_max = self.total_max
+        if not total_max:
+            return 0.0
+        return sum(r.ledger.qos_gained for r in self.replicas) / total_max
+
+    @property
+    def qod_percent(self) -> float:
+        total_max = self.total_max
+        if not total_max:
+            return 0.0
+        return sum(r.ledger.qod_gained for r in self.replicas) / total_max
+
+    def mean_response_time(self) -> float:
+        """Committed-query mean over the whole cluster."""
+        count = sum(r.ledger.response_time.count for r in self.replicas)
+        if not count:
+            return 0.0
+        return sum(r.ledger.response_time.total
+                   for r in self.replicas) / count
+
+    def counters(self) -> dict[str, int]:
+        combined: dict[str, int] = {}
+        for replica in self.replicas:
+            for key, value in replica.ledger.counters.as_dict().items():
+                combined[key] = combined.get(key, 0) + value
+        return combined

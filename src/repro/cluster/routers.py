@@ -1,0 +1,87 @@
+"""Query routing policies for a replicated web-database (extension).
+
+The paper's related work applies the QC framework to *replica selection*
+(Xu & Labrinidis, WebDB 2006 [17]): with several replicas each applying
+the same update stream under its own scheduler, an incoming query can be
+routed by what its contract values.
+
+* :class:`RoundRobinRouter` — the baseline: ignore everything;
+* :class:`LeastLoadedRouter` — route to the replica with the fewest
+  pending queries (classic load balancing, QoS-oriented);
+* :class:`QCAwareRouter` — read the contract: QoD-leaning queries go to
+  the *freshest* replica (fewest pending updates), QoS-leaning queries to
+  the least query-loaded one.
+
+Routers see only cheap aggregate state (queue lengths), mirroring what a
+front-end dispatcher could realistically know.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.db.transactions import Query
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .portal import ReplicaHandle
+
+
+class Router:
+    """Chooses the replica that will serve an incoming query."""
+
+    name = "base"
+
+    def choose(self, query: Query,
+               replicas: "typing.Sequence[ReplicaHandle]") -> int:
+        """Index of the chosen replica."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas regardless of contracts or load."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, query: Query, replicas) -> int:
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+class LeastLoadedRouter(Router):
+    """Fewest pending queries wins (ties: lowest index)."""
+
+    name = "least-loaded"
+
+    def choose(self, query: Query, replicas) -> int:
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].pending_queries(), i))
+
+
+class QCAwareRouter(Router):
+    """Route by what the contract pays for.
+
+    A query whose QoD share exceeds ``qod_threshold`` of its total value
+    is freshness-critical: send it to the replica with the smallest
+    update backlog.  Everything else is latency-critical: send it to the
+    replica with the fewest pending queries.
+    """
+
+    name = "qc-aware"
+
+    def __init__(self, qod_threshold: float = 0.5) -> None:
+        if not 0.0 <= qod_threshold <= 1.0:
+            raise ValueError("qod_threshold must be in [0, 1]")
+        self.qod_threshold = qod_threshold
+
+    def choose(self, query: Query, replicas) -> int:
+        total = query.qc.total_max
+        qod_share = query.qc.qod_max / total if total > 0 else 0.0
+        if qod_share >= self.qod_threshold:
+            return min(range(len(replicas)),
+                       key=lambda i: (replicas[i].pending_updates(), i))
+        return min(range(len(replicas)),
+                   key=lambda i: (replicas[i].pending_queries(), i))

@@ -1,0 +1,85 @@
+"""Replay a trace against a replicated portal."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.db.server import ServerConfig
+from repro.db.transactions import Query
+from repro.qc.contracts import QualityContract
+from repro.scheduling.base import Scheduler
+from repro.sim import Environment
+from repro.sim.rng import StreamRegistry
+from repro.workload.traces import Trace
+
+from .portal import ReplicatedPortal
+from .routers import Router
+
+
+class ClusterResult:
+    """Cluster-level outcome plus the per-replica detail."""
+
+    def __init__(self, portal: ReplicatedPortal, duration: float) -> None:
+        self.duration = duration
+        self.n_replicas = len(portal.replicas)
+        self.router_name = portal.router.name
+        self.total_percent = portal.total_percent
+        self.qos_percent = portal.qos_percent
+        self.qod_percent = portal.qod_percent
+        self.mean_response_time = portal.mean_response_time()
+        self.counters = portal.counters()
+        self.routed_counts = list(portal.routed_counts)
+        self.replica_ledgers = [r.ledger for r in portal.replicas]
+
+    def __repr__(self) -> str:
+        return (f"<ClusterResult n={self.n_replicas} "
+                f"router={self.router_name} "
+                f"Q%={self.total_percent:.3f}>")
+
+
+def run_cluster_simulation(n_replicas: int,
+                           scheduler_factory: typing.Callable[[], Scheduler],
+                           trace: Trace,
+                           qc_source,
+                           *,
+                           router: Router | None = None,
+                           master_seed: int = 0,
+                           drain_ms: float = 30_000.0,
+                           server_config: ServerConfig | None = None,
+                           ) -> ClusterResult:
+    """Replay ``trace`` against ``n_replicas`` servers behind ``router``.
+
+    The update stream is broadcast to every replica; queries are routed.
+    Contracts are drawn exactly as in the single-server runner, so
+    cluster results are directly comparable with
+    :func:`repro.experiments.run_simulation` on the same trace.
+    """
+    env = Environment()
+    streams = StreamRegistry(master_seed)
+    portal = ReplicatedPortal(env, n_replicas, scheduler_factory, streams,
+                              router=router, server_config=server_config)
+    qc_rng = streams.stream("qc.sampler")
+
+    def query_source(env):
+        for record in trace.queries:
+            delay = record.arrival_ms - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            contract: QualityContract = qc_source.sample(qc_rng, env.now)
+            portal.submit_query(Query(env.now, record.exec_ms,
+                                      record.items, contract))
+
+    def update_source(env):
+        for record in trace.updates:
+            delay = record.arrival_ms - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            portal.broadcast_update(env.now, record.exec_ms, record.item,
+                                    record.value)
+
+    env.process(query_source(env), name="cluster-query-source")
+    env.process(update_source(env), name="cluster-update-source")
+    horizon = trace.duration_ms + max(0.0, drain_ms)
+    env.run(until=horizon)
+    portal.finalize()
+    return ClusterResult(portal, horizon)

@@ -1,0 +1,29 @@
+"""Main-memory web-database substrate: items, register table, 2PL-HP locks,
+and the preemptive single-CPU server."""
+
+from .admission import AdmissionPolicy, AdmitAll, ProfitAwareAdmission
+from .database import Database
+from .items import DataItem
+from .locks import (AcquireOutcome, AcquireResult, LockManager, LockMode)
+from .server import DatabaseServer, ServerConfig
+from .transactions import (LIVE_STATUSES, Query, Transaction, TxnStatus,
+                           Update)
+
+__all__ = [
+    "AcquireOutcome",
+    "AcquireResult",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "ProfitAwareAdmission",
+    "DataItem",
+    "Database",
+    "DatabaseServer",
+    "LIVE_STATUSES",
+    "LockManager",
+    "LockMode",
+    "Query",
+    "ServerConfig",
+    "Transaction",
+    "TxnStatus",
+    "Update",
+]

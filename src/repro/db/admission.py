@@ -1,0 +1,93 @@
+"""Admission control for queries (extension; cf. the paper's UNIT [14]).
+
+The paper's related work points at the authors' user-centric transaction
+management (UNIT), which *admission-controls* incoming transactions; the
+QUTS paper itself admits everything.  This module provides that missing
+knob as an opt-in server extension: an admission policy sees each arriving
+query plus a cheap view of the server's state and may reject it outright
+(the user gets an immediate "try later" instead of a silently worthless
+answer, and the server sheds the load).
+
+Two policies are provided:
+
+* :class:`AdmitAll` — the paper's behaviour (default);
+* :class:`ProfitAwareAdmission` — rejects a query when the backlog of
+  queued query work already exceeds the point where the newcomer could
+  earn any QoS profit *and* its potential QoD profit is not worth the
+  added load (a cheap, conservative estimate: queued service time ahead
+  of it vs its ``rtmax``).
+
+Rejected queries are profit-neutral: their maxima are *not* added to the
+ledger denominators (the contract was declined, not broken), and they are
+counted under ``queries_rejected``.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .transactions import Query
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .server import DatabaseServer
+
+
+class AdmissionPolicy:
+    """Decides whether an arriving query enters the system."""
+
+    name = "base"
+
+    def admit(self, query: Query, server: "DatabaseServer") -> bool:
+        raise NotImplementedError
+
+
+class AdmitAll(AdmissionPolicy):
+    """The paper's behaviour: every query is admitted."""
+
+    name = "admit-all"
+
+    def admit(self, query: Query, server: "DatabaseServer") -> bool:
+        return True
+
+
+class ProfitAwareAdmission(AdmissionPolicy):
+    """Shed queries that can no longer earn their QoS profit.
+
+    A query is rejected when the *estimated* queueing delay ahead of it
+    already exceeds its ``rtmax`` by ``slack_factor`` and its QoD upside
+    is less than ``qod_weight`` of its total value.  The delay estimate
+    is deliberately cheap: pending queries × their mean service time —
+    an upper bound under query-favouring policies, an optimistic one
+    under UH (admission control cannot fix UH's starvation; that is a
+    scheduling problem).
+    """
+
+    name = "profit-aware"
+
+    def __init__(self, mean_query_service_ms: float = 7.0,
+                 slack_factor: float = 2.0,
+                 qod_weight: float = 0.5) -> None:
+        if mean_query_service_ms <= 0:
+            raise ValueError("mean_query_service_ms must be positive")
+        if slack_factor < 1.0:
+            raise ValueError("slack_factor must be >= 1")
+        if not 0.0 <= qod_weight <= 1.0:
+            raise ValueError("qod_weight must be in [0, 1]")
+        self.mean_query_service_ms = mean_query_service_ms
+        self.slack_factor = slack_factor
+        self.qod_weight = qod_weight
+
+    def admit(self, query: Query, server: "DatabaseServer") -> bool:
+        rt_max = query.qc.rt_max
+        if rt_max <= 0 or rt_max == float("inf"):
+            return True  # no deadline to protect
+        backlog_ms = (server.scheduler.pending_queries()
+                      * self.mean_query_service_ms)
+        if backlog_ms <= self.slack_factor * rt_max:
+            return True
+        # QoS profit is unreachable; admit only if the QoD upside alone
+        # justifies the work.
+        total = query.qc.total_max
+        if total <= 0:
+            return False
+        return query.qc.qod_max / total >= self.qod_weight

@@ -1,0 +1,156 @@
+"""The main-memory database: hash-accessed items + the update register table.
+
+The *update register table* (§2.1 "Updates") holds, per data item, the single
+pending update that is allowed to exist in the system.  When a new update
+arrives for an item that already has a pending update, the older one is
+*invalidated* ("simply dropped from the system without violating data
+consistency") — this is also how the write-write rule of 2PL-HP resolves:
+the older update loses.
+
+Queries read replica values through :meth:`Database.read`; staleness is
+measured against the per-item sequence counters maintained here.
+"""
+
+from __future__ import annotations
+
+import statistics
+import typing
+
+from .items import DataItem
+from .transactions import Query, TxnStatus, Update
+
+#: How a query's read-set staleness values are aggregated into one number.
+StalenessAggregation = typing.Literal["max", "mean", "sum"]
+
+
+class Database:
+    """A main-memory store of independently-refreshed data items."""
+
+    def __init__(self, keys: typing.Iterable[str] = (),
+                 staleness_aggregation: StalenessAggregation = "max",
+                 invalidation: bool = True) -> None:
+        self._items: dict[str, DataItem] = {
+            key: DataItem(key) for key in keys}
+        if staleness_aggregation not in ("max", "mean", "sum"):
+            raise ValueError(
+                f"unknown staleness aggregation {staleness_aggregation!r}")
+        self.staleness_aggregation: StalenessAggregation = (
+            staleness_aggregation)
+        #: Ablation switch: with invalidation off, a newer update does NOT
+        #: drop the pending older one — every update must be applied.  The
+        #: paper's system model requires invalidation ("the arrival of a
+        #: new update automatically invalidates any pending update"); the
+        #: toggle exists to measure how load-bearing it is.
+        self.invalidation = invalidation
+        #: The update register table: item key -> the one pending update.
+        self._register: dict[str, Update] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._items
+
+    def __repr__(self) -> str:
+        return (f"<Database items={len(self._items)} "
+                f"pending={len(self._register)}>")
+
+    # ------------------------------------------------------------------
+    # Item access
+    # ------------------------------------------------------------------
+    def item(self, key: str) -> DataItem:
+        """The :class:`DataItem` for ``key``, creating it if unknown.
+
+        Hash-based access per the paper's data model; items are created on
+        first reference so traces never need a separate schema step.
+        """
+        existing = self._items.get(key)
+        if existing is not None:
+            return existing
+        item = DataItem(key)
+        self._items[key] = item
+        return item
+
+    def items(self) -> typing.Iterator[DataItem]:
+        return iter(self._items.values())
+
+    def read(self, key: str) -> float:
+        """The replica's current value for ``key``."""
+        return self.item(key).value
+
+    # ------------------------------------------------------------------
+    # Update registration / invalidation
+    # ------------------------------------------------------------------
+    def register_update(self, update: Update, now: float) -> Update | None:
+        """Register an arriving update; returns the update it invalidated.
+
+        Assigns the update's per-item sequence number, records the arrival
+        on the item (which is what makes the replica stale), and drops any
+        older pending update on the same item
+        (``TxnStatus.DROPPED_SUPERSEDED``).  The superseded update may be
+        queued, suspended, or even running — the caller (the server) is
+        responsible for evicting it from the CPU if it was running.
+        """
+        item = self.item(update.item)
+        update.seq = item.record_arrival(now, update.value)
+
+        superseded = self._register.get(update.item)
+        self._register[update.item] = update
+        if superseded is None or not self.invalidation:
+            return None
+        if superseded.alive:
+            superseded.status = TxnStatus.DROPPED_SUPERSEDED
+            superseded.finish_time = now
+        item.record_superseded()
+        return superseded
+
+    def pending_update(self, key: str) -> Update | None:
+        """The registered pending update for ``key`` (if any)."""
+        pending = self._register.get(key)
+        if pending is None or pending.done:
+            return None
+        return pending
+
+    def pending_count(self) -> int:
+        """Number of items with a live pending update."""
+        return sum(1 for u in self._register.values() if u.alive)
+
+    def apply_update(self, update: Update, now: float) -> None:
+        """Commit an update: refresh the replica and clear the register."""
+        item = self.item(update.item)
+        item.apply(update.seq, update.value, now)
+        if self._register.get(update.item) is update:
+            del self._register[update.item]
+
+    # ------------------------------------------------------------------
+    # Staleness of a query's read set
+    # ------------------------------------------------------------------
+    def query_staleness(self, query: Query) -> float:
+        """Aggregate ``#uu`` over the query's read set (paper default: max).
+
+        ``uumax = 1`` in the paper means "QoD profit is gained only when no
+        update is missed", i.e. the aggregate must be 0 for full step-QC
+        profit — the max aggregation matches that reading for multi-item
+        queries.
+        """
+        values = [float(self.item(key).unapplied_updates)
+                  for key in query.items]
+        return self._aggregate(values)
+
+    def query_time_differential(self, query: Query, now: float) -> float:
+        """Aggregate ``td`` over the query's read set (extension metric)."""
+        values = [self.item(key).time_differential(now)
+                  for key in query.items]
+        return self._aggregate(values)
+
+    def query_value_distance(self, query: Query) -> float:
+        """Aggregate ``vd`` over the query's read set (extension metric)."""
+        values = [self.item(key).value_distance for key in query.items]
+        return self._aggregate(values)
+
+    def _aggregate(self, values: list[float]) -> float:
+        if self.staleness_aggregation == "max":
+            return max(values)
+        if self.staleness_aggregation == "mean":
+            return statistics.fmean(values)
+        return sum(values)

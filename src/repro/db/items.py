@@ -1,0 +1,102 @@
+"""Data items and their staleness accounting.
+
+Each :class:`DataItem` is an independently-refreshed, hash-accessed record
+(§2 "Data Model").  The item tracks, per the paper's staleness metrics
+(§2.1):
+
+* ``#uu`` — number of unapplied updates: how many master-copy updates are
+  not yet reflected in the replica (``latest_seq - applied_seq``);
+* ``td``  — time differential: how long the item has been stale (time since
+  the earliest unapplied update arrived);
+* ``vd``  — value distance: ``|master_value - value|``.
+
+The update register table in :class:`~repro.db.database.Database` guarantees
+that at most one *pending* update per item exists in the system; applying it
+always brings the item fully up to date (``#uu`` drops to 0) because blind
+updates only care about the most recent value.
+"""
+
+from __future__ import annotations
+
+
+class DataItem:
+    """One independently-updated data item (a stock, in the paper's trace)."""
+
+    __slots__ = ("key", "value", "master_value", "latest_seq", "applied_seq",
+                 "stale_since", "last_applied_time", "updates_applied",
+                 "updates_arrived", "updates_superseded")
+
+    def __init__(self, key: str, value: float = 0.0) -> None:
+        self.key = key
+        #: The replica's current (possibly stale) value.
+        self.value = value
+        #: The most recent value pushed by the external source.
+        self.master_value = value
+        #: Sequence number of the newest update that has *arrived*.
+        self.latest_seq = 0
+        #: Sequence number of the newest update *applied* to the replica.
+        self.applied_seq = 0
+        #: Arrival time of the earliest unapplied update (None when fresh).
+        self.stale_since: float | None = None
+        #: Time the replica was last refreshed (None if never).
+        self.last_applied_time: float | None = None
+        self.updates_applied = 0
+        self.updates_arrived = 0
+        self.updates_superseded = 0
+
+    def __repr__(self) -> str:
+        return (f"<DataItem {self.key!r} value={self.value} "
+                f"#uu={self.unapplied_updates}>")
+
+    # ------------------------------------------------------------------
+    # Staleness metrics (§2.1)
+    # ------------------------------------------------------------------
+    @property
+    def unapplied_updates(self) -> int:
+        """``#uu``: master-copy updates not reflected in the replica."""
+        return self.latest_seq - self.applied_seq
+
+    @property
+    def is_fresh(self) -> bool:
+        return self.latest_seq == self.applied_seq
+
+    def time_differential(self, now: float) -> float:
+        """``td``: how long the replica has been stale (0 when fresh)."""
+        if self.stale_since is None:
+            return 0.0
+        return max(0.0, now - self.stale_since)
+
+    @property
+    def value_distance(self) -> float:
+        """``vd``: absolute distance between replica and master values."""
+        return abs(self.master_value - self.value)
+
+    # ------------------------------------------------------------------
+    # Mutation (called by the Database only)
+    # ------------------------------------------------------------------
+    def record_arrival(self, now: float, value: float) -> int:
+        """An update arrived from the external source; returns its seq."""
+        self.latest_seq += 1
+        self.updates_arrived += 1
+        self.master_value = value
+        if self.stale_since is None:
+            self.stale_since = now
+        return self.latest_seq
+
+    def apply(self, seq: int, value: float, now: float) -> None:
+        """Apply an update; a stale (superseded) seq is ignored for state.
+
+        Applying the newest pending update makes the item fully fresh, since
+        blind updates supersede each other.
+        """
+        self.updates_applied += 1
+        if seq <= self.applied_seq:
+            return
+        self.applied_seq = seq
+        self.value = value
+        self.last_applied_time = now
+        if self.applied_seq == self.latest_seq:
+            self.stale_since = None
+
+    def record_superseded(self) -> None:
+        self.updates_superseded += 1

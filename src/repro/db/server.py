@@ -1,0 +1,414 @@
+"""The simulated main-memory web-database server.
+
+A single CPU executes queries and updates in the order the attached
+scheduler dictates (§2 "CPU scheduling is the primary means of improving
+performance").  The server implements:
+
+* arrival handling — queries are priced into the profit ledger and queued;
+  updates pass through the register table (invalidating pending older
+  updates, even a *running* one — the 2PL-HP write-write rule);
+* a preemptive executor — the scheduler bounds each running slice with a
+  quantum (QUTS's atom time) and may preempt on arrivals (UH/QH); preempted
+  work keeps its locks and remaining service time;
+* 2PL-HP — conservative lock acquisition over a transaction's item set;
+  conflicting lower-priority lock holders are restarted (losing progress),
+  higher-priority holders block the requester;
+* lifetime enforcement — queries past their QC lifetime are dropped when
+  they would next touch the CPU;
+* class-switch overhead — an optional fixed CPU cost charged whenever the
+  CPU switches between serving queries and serving updates, which is what
+  makes very small atom times costly (Figure 10b).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.metrics.profit import ProfitLedger
+from repro.scheduling.base import Scheduler
+from repro.sim import Environment, Interrupt
+from repro.sim.monitor import TimeSeries
+from repro.sim.rng import StreamRegistry
+
+from .admission import AdmissionPolicy
+from .database import Database
+from .locks import LockManager, LockMode
+from .transactions import Query, Transaction, TxnStatus, Update
+
+#: Float slack for "service time exhausted".
+_EPS = 1e-9
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    """Tunable server behaviour (defaults follow the paper / DESIGN.md)."""
+
+    #: CPU cost (ms) of switching the CPU between transaction classes.
+    #: The paper discusses switching overhead qualitatively (§4.2); 0.1 ms
+    #: is small against 1-9 ms service times but makes τ→1 ms measurably
+    #: wasteful, reproducing the left edge of Figure 10b.
+    class_switch_overhead: float = 0.1
+    #: Drop queries whose lifetime deadline passed before completion.
+    drop_late_queries: bool = True
+    #: What a *cross-class preemption* (UH/QH's "preemptive dual priority
+    #: queue") does to a running update: "restart" aborts it 2PL-HP-style
+    #: (blind writes are idempotent and cheap to redo, and aborting avoids
+    #: holding write latches across arbitrary higher-priority work), while
+    #: "suspend" keeps its progress.  Preempted *queries* are always
+    #: suspended (long reads are expensive to redo; their read locks are
+    #: what 2PL-HP conflict resolution arbitrates).  QUTS's atom-time slot
+    #: switches are cooperative (quantum expiry), never preemption, so
+    #: they always keep progress — a core advantage of the two-level
+    #: design.
+    update_preemption: str = "restart"
+    #: Which staleness metric feeds the QoD profit function (§2.1): the
+    #: number of unapplied updates ("uu", the paper's choice), the time
+    #: differential in ms ("td"), or the value distance ("vd").  The QC's
+    #: ``uumax`` threshold is interpreted in the chosen metric's unit.
+    qod_metric: str = "uu"
+    #: Record queue-length samples every this many ms (0 disables).
+    queue_sample_every: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.update_preemption not in ("restart", "suspend"):
+            raise ValueError(
+                f"update_preemption must be 'restart' or 'suspend', "
+                f"got {self.update_preemption!r}")
+        if self.qod_metric not in ("uu", "td", "vd"):
+            raise ValueError(
+                f"qod_metric must be 'uu', 'td', or 'vd', "
+                f"got {self.qod_metric!r}")
+
+
+class _Preempt:
+    """Interrupt cause: ``arrival`` wants the CPU from ``victim``."""
+
+    __slots__ = ("arrival",)
+
+    def __init__(self, arrival: Transaction) -> None:
+        self.arrival = arrival
+
+
+class _Superseded:
+    """Interrupt cause: the running update was invalidated by ``newer``."""
+
+    __slots__ = ("victim",)
+
+    def __init__(self, victim: Update) -> None:
+        self.victim = victim
+
+
+class DatabaseServer:
+    """Single-CPU transaction executor driven by a pluggable scheduler."""
+
+    def __init__(self, env: Environment, database: Database,
+                 scheduler: Scheduler, ledger: ProfitLedger,
+                 streams: StreamRegistry,
+                 config: ServerConfig | None = None,
+                 admission: "AdmissionPolicy | None" = None) -> None:
+        self.env = env
+        self.database = database
+        self.scheduler = scheduler
+        self.ledger = ledger
+        self.config = config or ServerConfig()
+        #: Optional query admission policy (default: admit everything,
+        #: the paper's behaviour).  See :mod:`repro.db.admission`.
+        self.admission = admission
+
+        scheduler.bind(env, streams)
+        self.locks = LockManager(scheduler.has_lock_priority)
+
+        self._running: Transaction | None = None
+        self._last_class: str | None = None
+        self._idle_wakeup = None  # type: ignore[assignment]
+        #: Transactions blocked on locks, with the holders they wait for.
+        self._blocked: dict[Transaction, frozenset[str]] = {}
+
+        self.queue_lengths = TimeSeries("query_queue_length")
+        self._proc = env.process(self._executor(), name="db-server")
+        if self.config.queue_sample_every > 0:
+            env.process(self._queue_sampler(), name="queue-sampler")
+
+    def __repr__(self) -> str:
+        return (f"<DatabaseServer t={self.env.now:.0f} "
+                f"running={self._running!r}>")
+
+    # ------------------------------------------------------------------
+    # Arrivals
+    # ------------------------------------------------------------------
+    def submit_query(self, query: Query) -> None:
+        """A user query arrives (read set + quality contract attached).
+
+        An attached admission policy may reject it outright; a rejected
+        query never enters the ledger's denominators (the contract was
+        declined, not broken).
+        """
+        if self.admission is not None and not self.admission.admit(
+                query, self):
+            query.status = TxnStatus.REJECTED
+            query.finish_time = self.env.now
+            self.ledger.counters.increment("queries_rejected")
+            return
+        query.status = TxnStatus.QUEUED
+        self.ledger.on_query_submitted(query, self.env.now)
+        self.scheduler.submit_query(query)
+        self._on_arrival(query)
+
+    def submit_update(self, update: Update) -> None:
+        """A blind update arrives from the external source."""
+        superseded = self.database.register_update(update, self.env.now)
+        if superseded is not None:
+            self.ledger.on_update_superseded(superseded, self.env.now)
+            self.locks.release_all(superseded)
+            self._unblock_waiters()
+            if superseded is self._running:
+                self._proc.interrupt(_Superseded(superseded))
+        update.status = TxnStatus.QUEUED
+        self.scheduler.submit_update(update)
+        self._on_arrival(update)
+
+    def _on_arrival(self, txn: Transaction) -> None:
+        if self._idle_wakeup is not None and not self._idle_wakeup.triggered:
+            self._idle_wakeup.succeed()
+            return
+        running = self._running
+        if running is not None and self.scheduler.preempts(running, txn):
+            self._proc.interrupt(_Preempt(txn))
+
+    # ------------------------------------------------------------------
+    # The executor process
+    # ------------------------------------------------------------------
+    def _executor(self):
+        env = self.env
+        while True:
+            txn = self.scheduler.next_transaction(env.now)
+            if txn is None:
+                self._idle_wakeup = env.event()
+                try:
+                    yield self._idle_wakeup
+                except Interrupt:
+                    pass
+                self._idle_wakeup = None
+                continue
+
+            if (txn.is_query and self.config.drop_late_queries
+                    and typing.cast(Query, txn).past_lifetime(env.now)):
+                self._drop_query(typing.cast(Query, txn))
+                continue
+
+            # Charge the class-switch overhead before the new class runs.
+            txn_class = "query" if txn.is_query else "update"
+            if (self._last_class is not None
+                    and txn_class != self._last_class
+                    and self.config.class_switch_overhead > 0):
+                interrupted = yield from self._charge_overhead(txn)
+                if interrupted:
+                    continue
+            self._last_class = txn_class
+
+            # 2PL-HP conservative acquisition over the full item set.
+            mode = LockMode.READ if txn.is_query else LockMode.WRITE
+            result = self.locks.acquire_all(txn, mode)
+            if not result.granted:
+                txn.status = TxnStatus.BLOCKED
+                self._blocked[txn] = self.locks.locks_of(txn) or frozenset(
+                    txn.touched_items())
+                continue
+            for loser in result.restarted:
+                self._handle_restart(loser)
+
+            yield from self._run(txn)
+
+    def _charge_overhead(self, txn: Transaction):
+        """Burn the switch overhead; returns True if interrupted (in which
+        case ``txn`` was requeued and the caller should re-decide).
+
+        ``txn`` is published as running for the duration so that arrivals
+        that should preempt it (e.g. an update arriving under UH while a
+        query is being switched in) can interrupt the switch.
+        """
+        self._running = txn
+        try:
+            yield self.env.timeout(self.config.class_switch_overhead)
+        except Interrupt:
+            txn.status = TxnStatus.QUEUED
+            self.scheduler.requeue(txn)
+            return True
+        finally:
+            self._running = None
+        return False
+
+    def _run(self, txn: Transaction):
+        env = self.env
+        txn.status = TxnStatus.RUNNING
+        if txn.start_time is None:
+            txn.start_time = env.now
+        self._running = txn
+
+        while True:
+            if txn.remaining <= _EPS:
+                # Covers both normal completion and the corner case of a
+                # transaction preempted at the exact instant its service
+                # finished (it re-enters here with no work left).
+                self._commit(txn)
+                break
+            quantum = self.scheduler.quantum(txn, env.now)
+            slice_ = min(txn.remaining, quantum)
+            started = env.now
+            try:
+                yield env.timeout(slice_)
+            except Interrupt as interrupt:
+                txn.remaining -= env.now - started
+                action = self._handle_interrupt(txn, interrupt.cause)
+                if action == "continue":
+                    continue
+                break
+            txn.remaining -= slice_
+            if txn.remaining <= _EPS:
+                self._commit(txn)
+                break
+            # Quantum expired: hand the decision back to the scheduler.
+            self._suspend(txn)
+            break
+
+        self._running = None
+
+    def _handle_interrupt(self, txn: Transaction, cause: object) -> str:
+        """React to an interrupt while ``txn`` runs; returns "continue" to
+        keep running or "stop" to leave the run loop."""
+        if isinstance(cause, _Superseded):
+            if cause.victim is txn:
+                # Our work is moot; locks were already released on register.
+                return "stop"
+            return "continue"
+        if isinstance(cause, _Preempt):
+            arrival = cause.arrival
+            # Re-validate: the arrival may have died (superseded) or the
+            # situation may have changed since the interrupt was raised.
+            if arrival.alive and self.scheduler.preempts(txn, arrival):
+                txn.preemptions += 1
+                if (txn.is_update
+                        and self.config.update_preemption == "restart"):
+                    self._restart_preempted_update(txn)
+                else:
+                    self._suspend(txn)
+                return "stop"
+            return "continue"
+        # Unknown cause (defensive): keep running.
+        return "continue"
+
+    def _suspend(self, txn: Transaction) -> None:
+        """Take ``txn`` off the CPU; it keeps locks and progress."""
+        txn.status = TxnStatus.SUSPENDED
+        self.scheduler.requeue(txn)
+
+    def _restart_preempted_update(self, update: Transaction) -> None:
+        """A cross-class preemption aborts the running update (2PL-HP):
+        its write lock is released and the blind write is redone later."""
+        update.reset_for_restart()
+        self.locks.release_all(update)
+        self.ledger.on_restart(victim_is_query=False)
+        update.status = TxnStatus.QUEUED
+        self.scheduler.requeue(update)
+        self._unblock_waiters()
+
+    # ------------------------------------------------------------------
+    # Completion paths
+    # ------------------------------------------------------------------
+    def _commit(self, txn: Transaction) -> None:
+        now = self.env.now
+        txn.finish_time = now
+        txn.status = TxnStatus.COMMITTED
+        if txn.is_query:
+            query = typing.cast(Query, txn)
+            query.staleness = self._measure_staleness(query, now)
+            qos, qod = query.qc.evaluate(query.response_time(),
+                                         query.staleness)
+            query.qos_profit = qos
+            query.qod_profit = qod
+            self.ledger.on_query_committed(query, now)
+            self.scheduler.notify_query_finished(query)
+        else:
+            update = typing.cast(Update, txn)
+            self.database.apply_update(update, now)
+            self.ledger.on_update_applied(update, now)
+        self.locks.release_all(txn)
+        self._unblock_waiters()
+
+    def _measure_staleness(self, query: Query, now: float) -> float:
+        """The query's QoD metric per ``ServerConfig.qod_metric``."""
+        metric = self.config.qod_metric
+        if metric == "uu":
+            return self.database.query_staleness(query)
+        if metric == "td":
+            return self.database.query_time_differential(query, now)
+        return self.database.query_value_distance(query)
+
+    def _drop_query(self, query: Query) -> None:
+        query.status = TxnStatus.DROPPED_LIFETIME
+        query.finish_time = self.env.now
+        self.locks.release_all(query)
+        self.ledger.on_query_dropped(query, self.env.now)
+        self.scheduler.notify_query_finished(query)
+        self._unblock_waiters()
+
+    def _handle_restart(self, loser: Transaction) -> None:
+        """A 2PL-HP victim: progress lost, back to its queue."""
+        loser.reset_for_restart()
+        self.ledger.on_restart(loser.is_query)
+        self._blocked.pop(loser, None)
+        loser.status = TxnStatus.QUEUED
+        self.scheduler.requeue(loser)
+
+    def _unblock_waiters(self) -> None:
+        """Lock state changed: give every blocked transaction another try."""
+        if not self._blocked:
+            return
+        waiters = list(self._blocked)
+        self._blocked.clear()
+        for txn in waiters:
+            if txn.alive:
+                txn.status = TxnStatus.QUEUED
+                self.scheduler.requeue(txn)
+        if self._idle_wakeup is not None and not self._idle_wakeup.triggered:
+            self._idle_wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    # End-of-run accounting
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """Account every transaction still in the system as unfinished."""
+        leftovers: list[Transaction] = []
+        if self._running is not None:
+            leftovers.append(self._running)
+        leftovers.extend(self._blocked)
+        self._blocked.clear()
+        while True:
+            txn = self.scheduler.next_transaction(self.env.now)
+            if txn is None:
+                break
+            leftovers.append(txn)
+        for txn in leftovers:
+            if not txn.alive:
+                continue
+            txn.status = TxnStatus.UNFINISHED
+            if txn.is_query:
+                self.ledger.on_query_unfinished(typing.cast(Query, txn))
+            else:
+                self.ledger.on_update_unfinished(typing.cast(Update, txn))
+
+    def _queue_sampler(self):
+        every = self.config.queue_sample_every
+        while True:
+            yield self.env.timeout(every)
+            self.queue_lengths.record(self.env.now,
+                                      self.scheduler.pending_queries())
+
+    @property
+    def lock_stats(self) -> dict[str, int]:
+        return {
+            "conflicts": self.locks.conflicts,
+            "restarts_caused": self.locks.restarts_caused,
+            "blocks_caused": self.locks.blocks_caused,
+        }

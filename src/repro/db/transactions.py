@@ -1,0 +1,195 @@
+"""Transaction model: read-only queries and write-only ("blind") updates.
+
+The paper's system model (§2.1) has exactly two transaction classes:
+
+* **queries** — read-only, over one or more data items, each carrying a
+  :class:`~repro.qc.contracts.QualityContract`;
+* **updates** — write-only and *blind*: each refreshes a single data item
+  with a value pushed by an external source, and a newer update for the same
+  item invalidates any pending older one.
+
+Both classes share the lifecycle bookkeeping needed by the preemptive server
+(remaining service time, restarts, suspension) and by the metrics layer
+(arrival / commit timestamps, measured response time and staleness).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.qc.contracts import QualityContract
+
+
+class TxnStatus(enum.Enum):
+    """Lifecycle states of a transaction inside the server."""
+
+    #: Created but not yet submitted to a server.
+    CREATED = "created"
+    #: In a scheduler queue, waiting for the CPU.
+    QUEUED = "queued"
+    #: Currently occupying the CPU.
+    RUNNING = "running"
+    #: Preempted mid-execution; keeps its locks and remaining service time.
+    SUSPENDED = "suspended"
+    #: Waiting for a lock held by a higher-priority transaction.
+    BLOCKED = "blocked"
+    #: Finished successfully.
+    COMMITTED = "committed"
+    #: Query only: exceeded its maximum lifetime and was discarded.
+    DROPPED_LIFETIME = "dropped_lifetime"
+    #: Query only: declined by an admission policy before entering.
+    REJECTED = "rejected"
+    #: Update only: superseded by a newer update on the same item (the
+    #: write-write rule of 2PL-HP / the update register table).
+    DROPPED_SUPERSEDED = "dropped_superseded"
+    #: Left in the system when the simulation horizon ended.
+    UNFINISHED = "unfinished"
+
+
+#: Statuses from which a transaction can still reach the CPU.
+LIVE_STATUSES = frozenset({
+    TxnStatus.CREATED, TxnStatus.QUEUED, TxnStatus.RUNNING,
+    TxnStatus.SUSPENDED, TxnStatus.BLOCKED,
+})
+
+_txn_ids = itertools.count(1)
+
+
+def _next_txn_id() -> int:
+    return next(_txn_ids)
+
+
+class Transaction:
+    """Common state shared by queries and updates."""
+
+    __slots__ = (
+        "txn_id", "arrival_time", "exec_time", "remaining", "status",
+        "restarts", "start_time", "finish_time", "preemptions",
+    )
+
+    def __init__(self, arrival_time: float, exec_time: float) -> None:
+        if exec_time <= 0:
+            raise ValueError(f"exec_time must be positive, got {exec_time}")
+        self.txn_id = _next_txn_id()
+        self.arrival_time = arrival_time
+        self.exec_time = exec_time
+        #: Service time still owed; decremented as the CPU runs the txn.
+        self.remaining = exec_time
+        self.status = TxnStatus.CREATED
+        #: Number of 2PL-HP restarts suffered (work thrown away).
+        self.restarts = 0
+        #: First time the transaction got the CPU (None until then).
+        self.start_time: float | None = None
+        #: Commit or drop time (None while live).
+        self.finish_time: float | None = None
+        #: Number of times the transaction was preempted off the CPU.
+        self.preemptions = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def is_query(self) -> bool:
+        return isinstance(self, Query)
+
+    @property
+    def is_update(self) -> bool:
+        return isinstance(self, Update)
+
+    @property
+    def alive(self) -> bool:
+        """True while the transaction can still complete."""
+        return self.status in LIVE_STATUSES
+
+    @property
+    def done(self) -> bool:
+        return not self.alive
+
+    def response_time(self) -> float:
+        """Commit latency; only valid for finished transactions."""
+        if self.finish_time is None:
+            raise ValueError(f"{self!r} has not finished")
+        return self.finish_time - self.arrival_time
+
+    def reset_for_restart(self) -> None:
+        """Throw away all progress (2PL-HP restart)."""
+        self.remaining = self.exec_time
+        self.restarts += 1
+
+    def touched_items(self) -> tuple[str, ...]:
+        """Keys this transaction accesses (read or write)."""
+        raise NotImplementedError
+
+
+class Query(Transaction):
+    """A read-only user query with an attached Quality Contract.
+
+    ``items`` is the query's read set (stock symbols in the paper's
+    workload); ``qc`` prices its QoS (response time) and QoD (staleness).
+    """
+
+    __slots__ = ("items", "qc", "lifetime_deadline", "staleness",
+                 "qos_profit", "qod_profit")
+
+    def __init__(self, arrival_time: float, exec_time: float,
+                 items: typing.Sequence[str],
+                 qc: "QualityContract",
+                 lifetime_deadline: float | None = None) -> None:
+        super().__init__(arrival_time, exec_time)
+        if not items:
+            raise ValueError("a query must read at least one item")
+        self.items = tuple(items)
+        self.qc = qc
+        #: Absolute time after which the query is dropped (QoS-independent
+        #: composition still requires completion "by a maximum lifetime
+        #: deadline", §2.2).
+        self.lifetime_deadline = (
+            lifetime_deadline if lifetime_deadline is not None
+            else arrival_time + qc.lifetime)
+        #: Staleness observed at commit (aggregated #uu over the read set).
+        self.staleness: float | None = None
+        #: Profit actually earned, filled in at commit / drop time.
+        self.qos_profit = 0.0
+        self.qod_profit = 0.0
+
+    def __repr__(self) -> str:
+        return (f"<Query #{self.txn_id} items={self.items!r} "
+                f"{self.status.value} rem={self.remaining:.2f}>")
+
+    def touched_items(self) -> tuple[str, ...]:
+        return self.items
+
+    @property
+    def total_profit(self) -> float:
+        return self.qos_profit + self.qod_profit
+
+    def past_lifetime(self, now: float) -> bool:
+        return now > self.lifetime_deadline
+
+
+class Update(Transaction):
+    """A blind, write-only update to a single data item.
+
+    ``seq`` is the per-item arrival sequence number assigned by the database
+    when the update is registered; it is what the staleness metric ``#uu``
+    counts.  ``value`` is the new master value (used by the value-distance
+    staleness extension).
+    """
+
+    __slots__ = ("item", "value", "seq")
+
+    def __init__(self, arrival_time: float, exec_time: float, item: str,
+                 value: float = 0.0) -> None:
+        super().__init__(arrival_time, exec_time)
+        self.item = item
+        self.value = value
+        #: Per-item sequence number; assigned by Database.register_update.
+        self.seq: int = -1
+
+    def __repr__(self) -> str:
+        return (f"<Update #{self.txn_id} item={self.item!r} seq={self.seq} "
+                f"{self.status.value}>")
+
+    def touched_items(self) -> tuple[str, ...]:
+        return (self.item,)

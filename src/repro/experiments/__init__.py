@@ -1,0 +1,51 @@
+"""Experiment harness: one driver per table/figure of the paper."""
+
+from .ablations import (ABLATIONS, ablation_invalidation,
+                        ablation_low_level, ablation_preemption,
+                        ablation_rho)
+from .config import (DEFAULT_SCALE, ExperimentConfig, POLICY_NAMES, SCALES,
+                     chosen_scale, table4_grid, table4_rows)
+from .figures import (FIG9_PHASE_MS, FIG9_RATIOS, FIG10_OMEGAS_MS,
+                      FIG10_TAUS_MS, fig1, fig5, fig6, fig7, fig8, fig9,
+                      fig10)
+from .replication import (MetricSummary, compare_policies, replicate)
+from .report import format_series, format_table, save_csv
+from .runner import QCSource, free_qc_source, run_simulation
+from .tables import table3, table4
+
+__all__ = [
+    "ABLATIONS",
+    "DEFAULT_SCALE",
+    "ablation_invalidation",
+    "ablation_low_level",
+    "ablation_preemption",
+    "ablation_rho",
+    "ExperimentConfig",
+    "FIG10_OMEGAS_MS",
+    "FIG10_TAUS_MS",
+    "FIG9_PHASE_MS",
+    "FIG9_RATIOS",
+    "MetricSummary",
+    "POLICY_NAMES",
+    "QCSource",
+    "SCALES",
+    "chosen_scale",
+    "compare_policies",
+    "replicate",
+    "fig1",
+    "fig10",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "format_series",
+    "format_table",
+    "free_qc_source",
+    "run_simulation",
+    "save_csv",
+    "table3",
+    "table4",
+    "table4_grid",
+    "table4_rows",
+]

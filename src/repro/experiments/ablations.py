@@ -1,0 +1,138 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+Four sweeps, each returning report-ready rows:
+
+* :func:`ablation_rho` — adaptive ρ (Eq. 4-6) vs a grid of fixed ρ under
+  the Figure 9 flip-flop preferences;
+* :func:`ablation_low_level` — QUTS with each low-level query policy
+  (VRD / FCFS / EDF / profit-rate) plus the inherited-QoD update policy,
+  against a UH yardstick;
+* :func:`ablation_invalidation` — the update register table on vs off;
+* :func:`ablation_preemption` — restart vs suspend semantics for
+  cross-class-preempted updates, on QH and QUTS.
+
+These back the ``benchmarks/test_ablation_*.py`` harness and the
+``repro ablation`` CLI command.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.db.server import ServerConfig
+from repro.qc.generator import PhasedQCFactory, QCFactory
+from repro.scheduling import (InheritanceQUTSScheduler, QUTSScheduler,
+                              make_priority, make_qh, make_uh)
+from repro.workload.traces import Trace
+
+from .config import ExperimentConfig
+from .figures import FIG9_PHASE_MS, FIG9_RATIOS
+from .runner import run_simulation
+
+Row = dict[str, typing.Any]
+
+#: Fixed-ρ grid for the adaptation ablation.
+FIXED_RHOS = (0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+#: Low-level query policies exercised by the modularity ablation.
+QUERY_POLICIES = ("vrd", "fcfs", "edf", "profit-rate")
+
+
+def _flip_flop_factory(trace: Trace) -> PhasedQCFactory:
+    n_phases = max(1, round(trace.duration_ms / FIG9_PHASE_MS))
+    ratios = [FIG9_RATIOS[i % len(FIG9_RATIOS)] for i in range(n_phases)]
+    return PhasedQCFactory.flip_flop(FIG9_PHASE_MS, ratios)
+
+
+def _profit_cells(result) -> Row:
+    return {"QOS%": result.qos_percent, "QOD%": result.qod_percent,
+            "total%": result.total_percent}
+
+
+def ablation_rho(config: ExperimentConfig,
+                 trace: Trace | None = None) -> list[Row]:
+    """Fixed-ρ grid + the adaptive scheduler, Figure 9 workload."""
+    trace = trace if trace is not None else config.trace()
+    factory = _flip_flop_factory(trace)
+    rows: list[Row] = []
+    for rho in FIXED_RHOS:
+        result = run_simulation(QUTSScheduler(fixed_rho=rho), trace,
+                                factory, master_seed=config.run_seed)
+        rows.append({"rho": f"fixed {rho:.1f}", **_profit_cells(result)})
+    adaptive = run_simulation(QUTSScheduler(), trace, factory,
+                              master_seed=config.run_seed)
+    rows.append({"rho": "adaptive (Eq. 4-6)", **_profit_cells(adaptive)})
+    return rows
+
+
+def ablation_low_level(config: ExperimentConfig,
+                       trace: Trace | None = None) -> list[Row]:
+    """QUTS low-level plug-ins (balanced QCs), with UH for scale."""
+    trace = trace if trace is not None else config.trace()
+    factory = QCFactory.balanced()
+    rows: list[Row] = []
+    for policy_name in QUERY_POLICIES:
+        scheduler = QUTSScheduler(query_policy=make_priority(policy_name))
+        result = run_simulation(scheduler, trace, factory,
+                                master_seed=config.run_seed)
+        rows.append({"low_level": f"queries: {policy_name}",
+                     **_profit_cells(result)})
+    inherited = run_simulation(InheritanceQUTSScheduler(), trace, factory,
+                               master_seed=config.run_seed)
+    rows.append({"low_level": "updates: inherited-QoD",
+                 **_profit_cells(inherited)})
+    yardstick = run_simulation(make_uh(), trace, factory,
+                               master_seed=config.run_seed)
+    rows.append({"low_level": "(UH baseline, for scale)",
+                 **_profit_cells(yardstick)})
+    return rows
+
+
+def ablation_invalidation(config: ExperimentConfig,
+                          trace: Trace | None = None) -> list[Row]:
+    """Update register table on vs off (QH, balanced QCs)."""
+    trace = trace if trace is not None else config.trace()
+    factory = QCFactory.balanced()
+    rows: list[Row] = []
+    for invalidation in (True, False):
+        result = run_simulation(make_qh(), trace, factory,
+                                master_seed=config.run_seed,
+                                invalidation=invalidation)
+        rows.append({
+            "register table": "on (paper)" if invalidation else "off",
+            **_profit_cells(result),
+            "uu": result.mean_staleness,
+            "superseded": result.counters.get("updates_superseded", 0),
+            "unfinished_updates":
+                result.counters.get("updates_unfinished", 0),
+        })
+    return rows
+
+
+def ablation_preemption(config: ExperimentConfig,
+                        trace: Trace | None = None) -> list[Row]:
+    """Restart vs suspend semantics for preempted updates (QH, QUTS)."""
+    trace = trace if trace is not None else config.trace()
+    factory = QCFactory.balanced()
+    rows: list[Row] = []
+    for policy_name, make in (("QH", make_qh), ("QUTS", QUTSScheduler)):
+        for semantics in ("restart", "suspend"):
+            result = run_simulation(
+                make(), trace, factory, master_seed=config.run_seed,
+                server_config=ServerConfig(update_preemption=semantics))
+            rows.append({
+                "policy": policy_name,
+                "preempted update": semantics,
+                **_profit_cells(result),
+                "update_restarts":
+                    result.counters.get("restarts_updates", 0),
+            })
+    return rows
+
+
+#: Registry for the CLI.
+ABLATIONS: dict[str, typing.Callable[..., list[Row]]] = {
+    "rho": ablation_rho,
+    "low-level": ablation_low_level,
+    "invalidation": ablation_invalidation,
+    "preemption": ablation_preemption,
+}

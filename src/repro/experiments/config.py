@@ -1,0 +1,97 @@
+"""Experiment configuration: scale presets and the Table 4 QC grid.
+
+Experiments run at one of three scales:
+
+* ``full``  — the paper's 30-minute trace (minutes of wall-clock per run);
+* ``standard`` — a 5-minute slice with identical rates (the default for the
+  benchmark harness; tens of seconds per policy);
+* ``smoke`` — a 1-minute slice for CI-grade checks.
+
+Scale is selected by the ``REPRO_SCALE`` environment variable (or
+explicitly); rates, service times, and contention are identical across
+scales by construction, so shapes are preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import typing
+
+from repro.qc.generator import QCFactory
+from repro.workload.synthetic import (PAPER_DURATION_MS,
+                                      StockWorkloadGenerator, WorkloadSpec)
+from repro.workload.traces import Trace
+
+#: Named experiment scales: duration of the generated trace, milliseconds.
+SCALES: dict[str, float] = {
+    "smoke": 60_000.0,
+    "standard": 300_000.0,
+    "full": PAPER_DURATION_MS,
+}
+
+DEFAULT_SCALE = "standard"
+
+#: The four policies compared throughout §5.
+POLICY_NAMES = ("FIFO", "UH", "QH", "QUTS")
+
+
+def chosen_scale(explicit: str | None = None) -> str:
+    """Resolve the experiment scale (explicit > $REPRO_SCALE > default)."""
+    scale = explicit or os.environ.get("REPRO_SCALE", DEFAULT_SCALE)
+    if scale not in SCALES:
+        raise ValueError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    return scale
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentConfig:
+    """Workload + seeds for one experiment family."""
+
+    scale: str = DEFAULT_SCALE
+    workload_seed: int = 7
+    run_seed: int = 1
+
+    @property
+    def duration_ms(self) -> float:
+        return SCALES[self.scale]
+
+    def spec(self) -> WorkloadSpec:
+        return WorkloadSpec().scaled(self.duration_ms)
+
+    def trace(self) -> Trace:
+        """The (deterministic) trace for this configuration."""
+        return StockWorkloadGenerator(self.spec(),
+                                      self.workload_seed).generate()
+
+    @classmethod
+    def from_env(cls, scale: str | None = None) -> "ExperimentConfig":
+        return cls(scale=chosen_scale(scale))
+
+
+def table4_grid() -> list[tuple[float, QCFactory]]:
+    """Table 4: the nine QC mixes, ``QODmax% ∈ {0.1, ..., 0.9}``."""
+    grid: list[tuple[float, QCFactory]] = []
+    for decile in range(1, 10):
+        qod_percent = decile / 10.0
+        grid.append((qod_percent, QCFactory.spectrum_point(qod_percent)))
+    return grid
+
+
+def table4_rows() -> list[dict[str, typing.Any]]:
+    """Table 4 rendered as data rows (for the tables report/bench)."""
+    rows = []
+    for qod_percent, factory in table4_grid():
+        rows.append({
+            "QODmax%": qod_percent,
+            "QOSmax%": round(1.0 - qod_percent, 1),
+            "qodmax": f"${factory.qodmax_range[0]:.0f} ~ "
+                      f"${factory.qodmax_range[1]:.0f}",
+            "qosmax": f"${factory.qosmax_range[0]:.0f} ~ "
+                      f"${factory.qosmax_range[1]:.0f}",
+            "rtmax": f"{factory.rtmax_range[0]:.0f}ms ~ "
+                     f"{factory.rtmax_range[1]:.0f}ms",
+            "uumax": f"{factory.uumax:.0f}",
+        })
+    return rows

@@ -1,0 +1,134 @@
+"""Multi-seed replication: means and confidence intervals for any metric.
+
+A single simulation run is a point estimate; a credible comparison
+replicates it over independent seeds.  :func:`replicate` runs a
+policy × workload configuration across ``n`` seed pairs (workload seed
+and run seed both vary) and aggregates any set of
+:class:`~repro.metrics.results.SimulationResult` metrics into mean,
+standard deviation, and a normal-approximation 95% confidence interval.
+
+Example::
+
+    from repro.experiments.replication import replicate
+
+    summary = replicate("QUTS", lambda: QCFactory.balanced(),
+                        duration_ms=60_000, n_seeds=5)
+    print(summary["total%"].mean, summary["total%"].ci95)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.metrics.results import SimulationResult
+from repro.scheduling import make_scheduler
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+
+#: Metric extractors over a SimulationResult, by report column name.
+METRICS: dict[str, typing.Callable[[SimulationResult], float]] = {
+    "QOS%": lambda r: r.qos_percent,
+    "QOD%": lambda r: r.qod_percent,
+    "total%": lambda r: r.total_percent,
+    "rt_ms": lambda r: r.mean_response_time,
+    "uu": lambda r: r.mean_staleness,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate of one metric over replications."""
+
+    name: str
+    samples: tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / self.n if self.n else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if self.n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((x - mu) ** 2 for x in self.samples)
+                         / (self.n - 1))
+
+    @property
+    def ci95(self) -> tuple[float, float]:
+        """Normal-approximation 95% confidence interval for the mean."""
+        half = 1.96 * self.stdev / math.sqrt(self.n) if self.n else 0.0
+        return (self.mean - half, self.mean + half)
+
+    def overlaps(self, other: "MetricSummary") -> bool:
+        """Do the two 95% CIs overlap (i.e. no clear separation)?"""
+        lo_a, hi_a = self.ci95
+        lo_b, hi_b = other.ci95
+        return lo_a <= hi_b and lo_b <= hi_a
+
+    def row(self) -> dict[str, typing.Any]:
+        lo, hi = self.ci95
+        return {"metric": self.name, "mean": self.mean,
+                "stdev": self.stdev, "ci95_lo": lo, "ci95_hi": hi,
+                "n": self.n}
+
+
+def replicate(policy: str,
+              qc_source_factory: typing.Callable[[], typing.Any],
+              duration_ms: float = 60_000.0,
+              n_seeds: int = 5,
+              base_seed: int = 100,
+              metrics: typing.Iterable[str] = ("total%",),
+              spec: WorkloadSpec | None = None,
+              ) -> dict[str, MetricSummary]:
+    """Run ``policy`` over ``n_seeds`` independent workloads.
+
+    Each replication regenerates the workload with its own seed and draws
+    fresh contracts and scheduler randomness, so the spread reflects all
+    sources of variation.  ``qc_source_factory`` is called once per
+    replication (QC sources may be stateful).
+    """
+    from .runner import run_simulation  # local import: avoid cycle
+
+    if n_seeds <= 0:
+        raise ValueError("n_seeds must be positive")
+    unknown = set(metrics) - set(METRICS)
+    if unknown:
+        raise KeyError(f"unknown metrics {sorted(unknown)}; "
+                       f"choose from {sorted(METRICS)}")
+
+    base_spec = (spec or WorkloadSpec()).scaled(duration_ms)
+    samples: dict[str, list[float]] = {name: [] for name in metrics}
+    for k in range(n_seeds):
+        seed = base_seed + k
+        trace = StockWorkloadGenerator(base_spec, master_seed=seed
+                                       ).generate()
+        result = run_simulation(make_scheduler(policy), trace,
+                                qc_source_factory(), master_seed=seed)
+        for name in metrics:
+            samples[name].append(METRICS[name](result))
+    return {name: MetricSummary(name, tuple(values))
+            for name, values in samples.items()}
+
+
+def compare_policies(policies: typing.Sequence[str],
+                     qc_source_factory: typing.Callable[[], typing.Any],
+                     duration_ms: float = 60_000.0,
+                     n_seeds: int = 5,
+                     base_seed: int = 100,
+                     metric: str = "total%",
+                     spec: WorkloadSpec | None = None,
+                     ) -> dict[str, MetricSummary]:
+    """Replicated comparison of several policies on *identical* workloads
+    (common random numbers: policy ``i`` sees the same seeds as policy
+    ``j``, which sharpens the comparison)."""
+    return {policy: replicate(policy, qc_source_factory,
+                              duration_ms=duration_ms, n_seeds=n_seeds,
+                              base_seed=base_seed, metrics=(metric,),
+                              spec=spec)[metric]
+            for policy in policies}

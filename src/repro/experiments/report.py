@@ -1,0 +1,95 @@
+"""Rendering of experiment results: ASCII tables/series and CSV export.
+
+Every figure driver returns structured data; this module turns it into the
+rows/series the paper reports — printable in a terminal, diffable in CI,
+and exportable as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+import typing
+
+Row = typing.Mapping[str, typing.Any]
+
+
+def format_table(rows: typing.Sequence[Row],
+                 columns: typing.Sequence[str] | None = None,
+                 title: str = "") -> str:
+    """Render mappings as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    widths = {c: len(c) for c in cols}
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = [_fmt(row.get(c, "")) for c in cols]
+        rendered.append(cells)
+        for c, cell in zip(cols, cells):
+            widths[c] = max(widths[c], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in cols)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in cols))
+    for cells in rendered:
+        lines.append(" | ".join(cell.ljust(widths[c])
+                                for c, cell in zip(cols, cells)))
+    return "\n".join(lines)
+
+
+def format_series(times: typing.Sequence[float],
+                  values: typing.Sequence[float],
+                  title: str = "", width: int = 60,
+                  height: int = 12) -> str:
+    """A crude ASCII line chart (good enough to eyeball Figure 9 shapes)."""
+    if not values:
+        return f"{title}\n(empty series)"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    # Downsample to `width` columns.
+    n = len(values)
+    columns = []
+    for x in range(width):
+        i0 = int(x * n / width)
+        i1 = max(i0 + 1, int((x + 1) * n / width))
+        chunk = values[i0:i1]
+        columns.append(sum(chunk) / len(chunk))
+    grid = [[" "] * width for __ in range(height)]
+    for x, v in enumerate(columns):
+        y = int((v - lo) / span * (height - 1))
+        grid[height - 1 - y][x] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"max={hi:.4g}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min={lo:.4g}   "
+                 f"t: {times[0]:.0f} .. {times[-1]:.0f} ms")
+    return "\n".join(lines)
+
+
+def save_csv(rows: typing.Sequence[Row],
+             path: str | pathlib.Path,
+             columns: typing.Sequence[str] | None = None) -> None:
+    """Write mappings to CSV (full float precision, for plotting)."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        target.write_text("")
+        return
+    cols = list(columns) if columns else list(rows[0].keys())
+    with open(target, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=cols,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c, "") for c in cols})
+
+
+def _fmt(value: typing.Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

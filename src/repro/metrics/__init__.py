@@ -1,0 +1,6 @@
+"""Profit accounting and result aggregation."""
+
+from .profit import ProfitLedger
+from .results import SimulationResult, improvement_percent
+
+__all__ = ["ProfitLedger", "SimulationResult", "improvement_percent"]

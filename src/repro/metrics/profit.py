@@ -1,0 +1,131 @@
+"""Profit accounting: the ledger behind every figure in the paper.
+
+The ledger tracks, over a simulation run (symbols from Table 1):
+
+* ``QOSmax`` / ``QODmax`` / ``Qmax`` — the maximum profit *submitted*
+  (summed over all queries' contracts);
+* ``QOS`` / ``QOD`` / ``Q`` — the profit actually *gained*;
+* the profit-percentage views the figures plot (``QOS% = QOS / Qmax`` etc.);
+* time series of submitted maxima and gained profit (Figure 9's curves);
+* response-time and staleness tallies (Figure 1);
+* transaction outcome counters.
+"""
+
+from __future__ import annotations
+
+from repro.db.transactions import Query, Update
+from repro.sim.monitor import CounterSet, Tally, TimeSeries
+
+
+class ProfitLedger:
+    """Accumulates profit, latency, and staleness statistics for one run."""
+
+    def __init__(self) -> None:
+        # Submitted maxima (denominators).
+        self.qos_max_submitted = 0.0
+        self.qod_max_submitted = 0.0
+        # Gained profit (numerators).
+        self.qos_gained = 0.0
+        self.qod_gained = 0.0
+
+        # Distributions.
+        self.response_time = Tally("response_time_ms")
+        self.staleness = Tally("staleness_uu")
+        self.query_restarts = Tally("query_restarts")
+
+        # Outcome counters.
+        self.counters = CounterSet()
+
+        # Time series for Figure 9 (times are submission/commit instants).
+        self.submitted_qos_series = TimeSeries("submitted_qosmax")
+        self.submitted_qod_series = TimeSeries("submitted_qodmax")
+        self.gained_qos_series = TimeSeries("gained_qos")
+        self.gained_qod_series = TimeSeries("gained_qod")
+
+    def __repr__(self) -> str:
+        return (f"<ProfitLedger Q={self.total_gained:.2f}/"
+                f"{self.total_max:.2f} ({self.total_percent:.1%})>")
+
+    # ------------------------------------------------------------------
+    # Event hooks (called by the DatabaseServer)
+    # ------------------------------------------------------------------
+    def on_query_submitted(self, query: Query, now: float) -> None:
+        self.qos_max_submitted += query.qc.qos_max
+        self.qod_max_submitted += query.qc.qod_max
+        self.submitted_qos_series.record(now, query.qc.qos_max)
+        self.submitted_qod_series.record(now, query.qc.qod_max)
+        self.counters.increment("queries_submitted")
+
+    def on_query_committed(self, query: Query, now: float) -> None:
+        self.qos_gained += query.qos_profit
+        self.qod_gained += query.qod_profit
+        self.gained_qos_series.record(now, query.qos_profit)
+        self.gained_qod_series.record(now, query.qod_profit)
+        self.response_time.observe(query.response_time())
+        if query.staleness is not None:
+            self.staleness.observe(query.staleness)
+        self.query_restarts.observe(query.restarts)
+        self.counters.increment("queries_committed")
+
+    def on_query_dropped(self, query: Query, now: float) -> None:
+        self.counters.increment("queries_dropped_lifetime")
+
+    def on_query_unfinished(self, query: Query) -> None:
+        self.counters.increment("queries_unfinished")
+
+    def on_update_applied(self, update: Update, now: float) -> None:
+        self.counters.increment("updates_applied")
+
+    def on_update_superseded(self, update: Update, now: float) -> None:
+        self.counters.increment("updates_superseded")
+
+    def on_update_unfinished(self, update: Update) -> None:
+        self.counters.increment("updates_unfinished")
+
+    def on_restart(self, victim_is_query: bool) -> None:
+        self.counters.increment(
+            "restarts_queries" if victim_is_query else "restarts_updates")
+
+    # ------------------------------------------------------------------
+    # Aggregates (Table 1 symbols)
+    # ------------------------------------------------------------------
+    @property
+    def total_max(self) -> float:
+        """``Qmax = QOSmax + QODmax``."""
+        return self.qos_max_submitted + self.qod_max_submitted
+
+    @property
+    def total_gained(self) -> float:
+        """``Q = QOS + QOD``."""
+        return self.qos_gained + self.qod_gained
+
+    @property
+    def qos_percent(self) -> float:
+        """``QOS%``: gained QoS profit as a fraction of ``Qmax``.
+
+        This matches the figures, where the stacked QoS/QoD bars sum to the
+        total profit percentage (so each share is normalised by ``Qmax``,
+        not by its own maximum).
+        """
+        return self.qos_gained / self.total_max if self.total_max else 0.0
+
+    @property
+    def qod_percent(self) -> float:
+        """``QOD%``: gained QoD profit as a fraction of ``Qmax``."""
+        return self.qod_gained / self.total_max if self.total_max else 0.0
+
+    @property
+    def total_percent(self) -> float:
+        """``Q / Qmax``: the total height of the figures' stacked bars."""
+        return self.total_gained / self.total_max if self.total_max else 0.0
+
+    @property
+    def qos_max_percent(self) -> float:
+        """``QOSmax%``: the diagonal line of Figures 7/8."""
+        return (self.qos_max_submitted / self.total_max
+                if self.total_max else 0.0)
+
+    @property
+    def qod_max_percent(self) -> float:
+        return (self.qod_max_submitted / self.total_max
+                if self.total_max else 0.0)

@@ -1,0 +1,122 @@
+"""Run results: everything a figure or table needs from one simulation.
+
+:class:`SimulationResult` bundles the profit ledger, the scheduler's own
+telemetry (e.g. QUTS's ρ trajectory), lock-manager statistics, and run
+metadata.  It also provides the smoothed time-series views used by
+Figure 9 (5-second moving window over per-second profit buckets).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.monitor import TimeSeries
+
+from .profit import ProfitLedger
+
+
+class SimulationResult:
+    """The outcome of one scheduler × workload simulation."""
+
+    def __init__(self, scheduler_name: str, duration: float,
+                 ledger: ProfitLedger,
+                 rho_series: TimeSeries | None = None,
+                 lock_stats: dict[str, int] | None = None,
+                 metadata: dict[str, typing.Any] | None = None) -> None:
+        self.scheduler_name = scheduler_name
+        #: Simulated duration in milliseconds.
+        self.duration = duration
+        self.ledger = ledger
+        #: QUTS's ρ over time (None for other schedulers) — Figure 9d.
+        self.rho_series = rho_series
+        self.lock_stats = lock_stats or {}
+        self.metadata = metadata or {}
+
+    def __repr__(self) -> str:
+        return (f"<SimulationResult {self.scheduler_name} "
+                f"Q%={self.ledger.total_percent:.3f} "
+                f"rt={self.mean_response_time:.1f}ms "
+                f"#uu={self.mean_staleness:.3f}>")
+
+    # ------------------------------------------------------------------
+    # Figure 1 metrics
+    # ------------------------------------------------------------------
+    @property
+    def mean_response_time(self) -> float:
+        """Average response time over committed queries (ms)."""
+        return self.ledger.response_time.mean
+
+    @property
+    def mean_staleness(self) -> float:
+        """Average ``#uu`` observed by committed queries."""
+        return self.ledger.staleness.mean
+
+    # ------------------------------------------------------------------
+    # Profit views (Figures 6-10)
+    # ------------------------------------------------------------------
+    @property
+    def qos_percent(self) -> float:
+        return self.ledger.qos_percent
+
+    @property
+    def qod_percent(self) -> float:
+        return self.ledger.qod_percent
+
+    @property
+    def total_percent(self) -> float:
+        return self.ledger.total_percent
+
+    @property
+    def counters(self) -> dict[str, int]:
+        return self.ledger.counters.as_dict()
+
+    # ------------------------------------------------------------------
+    # Figure 9 time series
+    # ------------------------------------------------------------------
+    def profit_timeline(self, which: typing.Literal["qos", "qod", "total"],
+                        bucket_ms: float = 1000.0,
+                        window_ms: float = 5000.0,
+                        gained: bool = True) -> TimeSeries:
+        """Per-bucket (default per-second) profit, moving-window smoothed.
+
+        ``gained=False`` returns the *submitted maxima* series instead (the
+        dashed "ideal" lines of Figure 9a-c).
+        """
+        ledger = self.ledger
+        if gained:
+            qos, qod = ledger.gained_qos_series, ledger.gained_qod_series
+        else:
+            qos, qod = ledger.submitted_qos_series, ledger.submitted_qod_series
+        if which == "qos":
+            raw = qos
+        elif which == "qod":
+            raw = qod
+        else:
+            raw = _merge_series(qos, qod, name="total")
+        bucketed = raw.bucket_sums(bucket_ms, start=0.0, end=self.duration)
+        if window_ms and window_ms > bucket_ms:
+            return bucketed.moving_window_average(window_ms)
+        return bucketed
+
+
+def _merge_series(a: TimeSeries, b: TimeSeries, name: str) -> TimeSeries:
+    """Merge two time-ordered series into one (stable by time)."""
+    merged = TimeSeries(name)
+    ia, ib = 0, 0
+    na, nb = len(a), len(b)
+    while ia < na or ib < nb:
+        take_a = ib >= nb or (ia < na and a.times[ia] <= b.times[ib])
+        if take_a:
+            merged.record(a.times[ia], a.values[ia])
+            ia += 1
+        else:
+            merged.record(b.times[ib], b.values[ib])
+            ib += 1
+    return merged
+
+
+def improvement_percent(ours: float, baseline: float) -> float:
+    """"X performs N% better than Y" as the paper phrases it (§5.1.2)."""
+    if baseline <= 0:
+        return float("inf") if ours > 0 else 0.0
+    return (ours - baseline) / baseline * 100.0

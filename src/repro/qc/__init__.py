@@ -1,0 +1,20 @@
+"""Quality Contracts: the paper's unifying QoS/QoD preference framework."""
+
+from .contracts import (CompositionMode, DEFAULT_LIFETIME_MS,
+                        QualityContract)
+from .functions import (LinearProfit, PiecewiseLinearProfit, ProfitFunction,
+                        StepProfit, ZeroProfit)
+from .generator import PhasedQCFactory, QCFactory
+
+__all__ = [
+    "CompositionMode",
+    "DEFAULT_LIFETIME_MS",
+    "LinearProfit",
+    "PhasedQCFactory",
+    "PiecewiseLinearProfit",
+    "ProfitFunction",
+    "QCFactory",
+    "QualityContract",
+    "StepProfit",
+    "ZeroProfit",
+]

@@ -1,0 +1,162 @@
+"""Factories that sample Quality Contracts for whole workloads.
+
+The paper's experiments attach a randomly drawn QC to every query:
+
+* §5.1.1 (Figure 6): ``qosmax, qodmax ~ U($10, $50)``,
+  ``rtmax ~ U(50 ms, 100 ms)``, ``uumax = 1``;
+* §5.1.2 (Figures 7/8, Table 4): nine mixes where ``QODmax%`` sweeps
+  0.1 … 0.9 — e.g. at 0.3, ``qodmax ~ U($30, $39)`` and
+  ``qosmax ~ U($70, $79)``;
+* §5.2 (Figure 9): the qosmax:qodmax ratio flips between 1:5 and 5:1 across
+  four 75 s intervals.
+
+:class:`QCFactory` captures one static recipe; :class:`PhasedQCFactory`
+switches recipes over simulated time for the adaptability experiment.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.rng import RandomStream
+
+from .contracts import (CompositionMode, DEFAULT_LIFETIME_MS,
+                        QualityContract)
+
+Shape = typing.Literal["step", "linear"]
+
+
+class QCFactory:
+    """Samples QCs from uniform ranges over the four QC parameters."""
+
+    def __init__(self,
+                 qosmax_range: tuple[float, float],
+                 qodmax_range: tuple[float, float],
+                 rtmax_range: tuple[float, float] = (50.0, 100.0),
+                 uumax: float = 1.0,
+                 shape: Shape = "step",
+                 mode: CompositionMode = CompositionMode.QOS_INDEPENDENT,
+                 lifetime: float = DEFAULT_LIFETIME_MS) -> None:
+        for name, (low, high) in (("qosmax", qosmax_range),
+                                  ("qodmax", qodmax_range),
+                                  ("rtmax", rtmax_range)):
+            if low < 0 or high < low:
+                raise ValueError(f"invalid {name} range ({low}, {high})")
+        if shape not in ("step", "linear"):
+            raise ValueError(f"unknown QC shape {shape!r}")
+        self.qosmax_range = qosmax_range
+        self.qodmax_range = qodmax_range
+        self.rtmax_range = rtmax_range
+        self.uumax = uumax
+        self.shape: Shape = shape
+        self.mode = mode
+        self.lifetime = lifetime
+
+    def __repr__(self) -> str:
+        return (f"QCFactory({self.shape}, qosmax~U{self.qosmax_range}, "
+                f"qodmax~U{self.qodmax_range}, rtmax~U{self.rtmax_range}, "
+                f"uumax={self.uumax})")
+
+    def sample(self, rng: RandomStream, now: float = 0.0) -> QualityContract:
+        """Draw one contract.  ``now`` is ignored by static factories."""
+        qosmax = rng.uniform(*self.qosmax_range)
+        qodmax = rng.uniform(*self.qodmax_range)
+        rtmax = rng.uniform(*self.rtmax_range)
+        build = (QualityContract.step if self.shape == "step"
+                 else QualityContract.linear)
+        return build(qosmax, rtmax, qodmax, self.uumax,
+                     mode=self.mode, lifetime=self.lifetime)
+
+    # ------------------------------------------------------------------
+    # The paper's named setups
+    # ------------------------------------------------------------------
+    @classmethod
+    def balanced(cls, shape: Shape = "step",
+                 lifetime: float = DEFAULT_LIFETIME_MS) -> "QCFactory":
+        """§5.1.1 setup: QOSmax% = QODmax% = 0.5 (Figure 6)."""
+        return cls(qosmax_range=(10.0, 50.0), qodmax_range=(10.0, 50.0),
+                   rtmax_range=(50.0, 100.0), uumax=1.0, shape=shape,
+                   lifetime=lifetime)
+
+    @classmethod
+    def spectrum_point(cls, qodmax_percent: float, shape: Shape = "step",
+                       lifetime: float = DEFAULT_LIFETIME_MS) -> "QCFactory":
+        """One column of Table 4: ``QODmax% ∈ {0.1, ..., 0.9}``.
+
+        At ``QODmax% = d`` the paper draws ``qodmax ~ U($10d0, $10d9)`` and
+        ``qosmax ~ U($10(10-d)0 ... )`` — i.e. decade ranges whose midpoints
+        give exactly the requested split.
+        """
+        decile = round(qodmax_percent * 10)
+        if not 1 <= decile <= 9:
+            raise ValueError(
+                f"qodmax_percent must be in [0.1, 0.9], got {qodmax_percent}")
+        qod_low = 10.0 * decile
+        qos_low = 10.0 * (10 - decile)
+        return cls(qosmax_range=(qos_low, qos_low + 9.0),
+                   qodmax_range=(qod_low, qod_low + 9.0),
+                   rtmax_range=(50.0, 100.0), uumax=1.0, shape=shape,
+                   lifetime=lifetime)
+
+    @classmethod
+    def ratio(cls, qos_to_qod: float, base: float = 20.0,
+              shape: Shape = "step",
+              lifetime: float = DEFAULT_LIFETIME_MS) -> "QCFactory":
+        """A qosmax:qodmax = ``qos_to_qod`` : 1 recipe (Figure 9 phases)."""
+        if qos_to_qod <= 0:
+            raise ValueError("ratio must be positive")
+        if qos_to_qod >= 1.0:
+            qos_low, qod_low = base * qos_to_qod, base
+        else:
+            qos_low, qod_low = base, base / qos_to_qod
+        return cls(qosmax_range=(qos_low, qos_low * 1.2),
+                   qodmax_range=(qod_low, qod_low * 1.2),
+                   rtmax_range=(50.0, 100.0), uumax=1.0, shape=shape,
+                   lifetime=lifetime)
+
+
+class PhasedQCFactory:
+    """Time-phased QC sampling for the adaptability experiment (§5.2).
+
+    ``phases`` is a list of ``(start_time_ms, factory)``; a sample at time
+    ``t`` uses the factory of the last phase whose start is ``<= t``.
+    """
+
+    def __init__(self,
+                 phases: typing.Sequence[tuple[float, QCFactory]]) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        starts = [start for start, _ in phases]
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ValueError("phase start times must be strictly increasing")
+        self.phases = list(phases)
+
+    def __repr__(self) -> str:
+        return f"PhasedQCFactory({len(self.phases)} phases)"
+
+    def factory_at(self, now: float) -> QCFactory:
+        chosen = self.phases[0][1]
+        for start, factory in self.phases:
+            if start <= now:
+                chosen = factory
+            else:
+                break
+        return chosen
+
+    def sample(self, rng: RandomStream, now: float = 0.0) -> QualityContract:
+        return self.factory_at(now).sample(rng, now)
+
+    @classmethod
+    def flip_flop(cls, period: float, ratios: typing.Sequence[float],
+                  base: float = 20.0, shape: Shape = "step",
+                  lifetime: float = DEFAULT_LIFETIME_MS
+                  ) -> "PhasedQCFactory":
+        """Figure 9's setup: one recipe per interval of length ``period``.
+
+        The paper uses four 75 s intervals with the qosmax:qodmax ratio
+        flipping between 1:5 and 5:1, i.e. ``ratios=[0.2, 5, 0.2, 5]``.
+        """
+        phases = [(i * period, QCFactory.ratio(r, base=base, shape=shape,
+                                               lifetime=lifetime))
+                  for i, r in enumerate(ratios)]
+        return cls(phases)

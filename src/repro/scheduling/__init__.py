@@ -1,0 +1,74 @@
+"""Query/update scheduling policies: FIFO, UH, QH, the naive Figure 1
+variants, and QUTS."""
+
+from .base import Scheduler, SchedulerFactory
+from .dual import (DualQueueScheduler, make_fifo_qh, make_fifo_uh, make_qh,
+                   make_uh)
+from .fifo import FIFOScheduler
+from .inheritance import (InheritanceQUTSScheduler, InheritedQoDPriority,
+                          InterestTable)
+from .priorities import (EDFPriority, FCFSPriority, PRIORITY_POLICIES,
+                         PriorityPolicy, ProfitRatePriority, VRDPriority,
+                         make_priority)
+from .queues import TransactionQueue
+from .quts import (DEFAULT_ALPHA, DEFAULT_OMEGA_MS, DEFAULT_TAU_MS,
+                   QUTSScheduler, optimal_rho)
+
+#: Factories for the four policies compared throughout the evaluation.
+STANDARD_SCHEDULERS: dict[str, SchedulerFactory] = {
+    "FIFO": FIFOScheduler,
+    "UH": make_uh,
+    "QH": make_qh,
+    "QUTS": QUTSScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Build a scheduler by name ("FIFO", "UH", "QH", "QUTS", "FIFO-UH",
+    "FIFO-QH"); QUTS accepts its keyword parameters (tau, omega, alpha...)."""
+    if name == "QUTS":
+        return QUTSScheduler(**kwargs)
+    if name == "QUTS-inherit":
+        return InheritanceQUTSScheduler(**kwargs)
+    if kwargs:
+        raise ValueError(f"{name} takes no parameters, got {kwargs!r}")
+    extra: dict[str, SchedulerFactory] = {
+        "FIFO-UH": make_fifo_uh,
+        "FIFO-QH": make_fifo_qh,
+        "QUTS-inherit": InheritanceQUTSScheduler,
+    }
+    factory = STANDARD_SCHEDULERS.get(name) or extra.get(name)
+    if factory is None:
+        raise KeyError(f"unknown scheduler {name!r}; choose from "
+                       f"{sorted(STANDARD_SCHEDULERS) + sorted(extra)}")
+    return factory()
+
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "DEFAULT_OMEGA_MS",
+    "DEFAULT_TAU_MS",
+    "DualQueueScheduler",
+    "EDFPriority",
+    "FCFSPriority",
+    "FIFOScheduler",
+    "InheritanceQUTSScheduler",
+    "InheritedQoDPriority",
+    "InterestTable",
+    "PRIORITY_POLICIES",
+    "PriorityPolicy",
+    "ProfitRatePriority",
+    "QUTSScheduler",
+    "STANDARD_SCHEDULERS",
+    "Scheduler",
+    "SchedulerFactory",
+    "TransactionQueue",
+    "VRDPriority",
+    "make_fifo_qh",
+    "make_fifo_uh",
+    "make_priority",
+    "make_qh",
+    "make_scheduler",
+    "make_uh",
+    "optimal_rho",
+]

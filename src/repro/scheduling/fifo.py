@@ -1,0 +1,48 @@
+"""FIFO: the single combined queue baseline (§3.1).
+
+Queries and updates share one queue ordered by arrival time; the policy is
+non-preemptive, so the only scheduling "decision" is popping the head.  FIFO
+ignores QC information entirely — the paper's point is that it therefore
+performs poorly on QoS profit, while its random interleaving keeps QoD
+profit "fair".
+"""
+
+from __future__ import annotations
+
+from repro.db.transactions import Query, Transaction, Update
+
+from .base import Scheduler
+from .priorities import FCFSPriority
+from .queues import TransactionQueue
+
+
+class FIFOScheduler(Scheduler):
+    """Single non-preemptive FIFO queue over queries and updates."""
+
+    name = "FIFO"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue = TransactionQueue(FCFSPriority(), name="combined")
+
+    def submit_query(self, query: Query) -> None:
+        self._queue.push(query)
+
+    def submit_update(self, update: Update) -> None:
+        self._queue.push(update)
+
+    def next_transaction(self, now: float) -> Transaction | None:
+        return self._queue.pop()
+
+    # Non-preemptive: `preempts` stays False, `quantum` stays infinite.
+
+    def pending_queries(self) -> int:
+        return self._count(Query)
+
+    def pending_updates(self) -> int:
+        return self._count(Update)
+
+    def _count(self, cls: type) -> int:
+        return sum(1 for __, __, txn in self._queue._heap
+                   if isinstance(txn, cls) and txn.alive
+                   and txn.txn_id in self._queue._members)

@@ -1,0 +1,100 @@
+"""Update priority via inherited QoD profit (extension of §3.1).
+
+The paper's "Update Priority" discussion: *"Suppose we let updates inherit
+the QoD functions associated with the corresponding queries, then the
+update priority should consider both dimensions (staleness constraints and
+profit) of the QoD functions."*  The paper then schedules updates FIFO
+everywhere ("the priority of updates can hardly affect the queries'
+performance with separate priority queues"); this module implements the
+inheritance idea so that claim can be tested (see the low-level ablation
+benchmark).
+
+Mechanics:
+
+* an :class:`InterestTable` tracks, per data item, the total ``qodmax`` of
+  the *live* queries that read it;
+* :class:`InheritedQoDPriority` orders the update queue by the interest of
+  the updated item (most-wanted item first; FIFO tie-break);
+* :class:`InheritanceQUTSScheduler` is QUTS with that update policy wired
+  to the query lifecycle (interest registered at submit, retired at
+  commit/drop via the server's ``notify_query_finished`` hook).
+
+A queue entry's priority is computed when it is pushed; interest that
+changes while an update waits takes effect the next time the update is
+(re)queued.  This is the standard lazy-priority trade-off and is
+documented behaviour, not a bug.
+"""
+
+from __future__ import annotations
+
+from repro.db.transactions import Query, Transaction, Update
+
+from .priorities import PriorityPolicy
+from .quts import QUTSScheduler
+
+
+class InterestTable:
+    """Total outstanding ``qodmax`` per data item, over live queries."""
+
+    def __init__(self) -> None:
+        self._interest: dict[str, float] = {}
+
+    def __repr__(self) -> str:
+        return f"<InterestTable items={len(self._interest)}>"
+
+    def register(self, query: Query) -> None:
+        """A query arrived: its QoD value accrues to every item it reads."""
+        for key in query.items:
+            self._interest[key] = (self._interest.get(key, 0.0)
+                                   + query.qc.qod_max)
+
+    def unregister(self, query: Query) -> None:
+        """The query left the system (commit or drop)."""
+        for key in query.items:
+            remaining = self._interest.get(key, 0.0) - query.qc.qod_max
+            if remaining <= 1e-12:
+                self._interest.pop(key, None)
+            else:
+                self._interest[key] = remaining
+
+    def value(self, key: str) -> float:
+        """Outstanding QoD profit riding on item ``key``."""
+        return self._interest.get(key, 0.0)
+
+    def tracked_items(self) -> int:
+        return len(self._interest)
+
+
+class InheritedQoDPriority(PriorityPolicy):
+    """Updates ordered by the QoD profit waiting on their item."""
+
+    name = "inherited-qod"
+
+    def __init__(self, interest: InterestTable) -> None:
+        self.interest = interest
+
+    def key(self, txn: Transaction) -> float:
+        if isinstance(txn, Update):
+            # Most-wanted item first; FIFO among equally wanted ones via
+            # the queue's insertion tie-break.
+            return -self.interest.value(txn.item)
+        return txn.arrival_time
+
+
+class InheritanceQUTSScheduler(QUTSScheduler):
+    """QUTS whose update queue inherits QoD profit from waiting queries."""
+
+    name = "QUTS-inherit"
+
+    def __init__(self, **quts_kwargs) -> None:
+        interest = InterestTable()
+        super().__init__(update_policy=InheritedQoDPriority(interest),
+                         **quts_kwargs)
+        self.interest = interest
+
+    def submit_query(self, query: Query) -> None:
+        self.interest.register(query)
+        super().submit_query(query)
+
+    def notify_query_finished(self, query: Query) -> None:
+        self.interest.unregister(query)

@@ -1,0 +1,98 @@
+"""Low-level priority policies: how one queue orders its transactions.
+
+The two-level design of QUTS (§4) deliberately leaves the *low level* open:
+"QUTS can utilize any priority scheme that considers both time and profit
+constraints for queries".  The paper's experiments use **VRD** (Value over
+Relative Deadline, Haritsa et al.) for queries and FIFO for updates; this
+module also provides EDF and profit-rate orderings to demonstrate the
+pluggability claim (exercised by the ablation benchmarks).
+
+A policy maps a transaction to a sort *key*; smaller keys run first.
+"""
+
+from __future__ import annotations
+
+from repro.db.transactions import Query, Transaction
+
+
+class PriorityPolicy:
+    """Base class for queue-ordering policies."""
+
+    name: str = "base"
+
+    def key(self, txn: Transaction) -> float:
+        """Sort key: lower runs first."""
+        raise NotImplementedError
+
+
+class FCFSPriority(PriorityPolicy):
+    """First-come-first-served: order by arrival time."""
+
+    name = "fcfs"
+
+    def key(self, txn: Transaction) -> float:
+        return txn.arrival_time
+
+
+class VRDPriority(PriorityPolicy):
+    """Value over Relative Deadline (§3.2): highest ``Vmax / rtmax`` first.
+
+    With the QC framework the value of a query is its total maximal profit
+    ``qosmax + qodmax`` and its relative deadline is ``rtmax``.  Updates do
+    not carry QCs; they fall back to FCFS (the paper schedules updates FIFO
+    everywhere).
+    """
+
+    name = "vrd"
+
+    def key(self, txn: Transaction) -> float:
+        if isinstance(txn, Query):
+            rtmax = txn.qc.rt_max
+            if rtmax <= 0 or rtmax == float("inf"):
+                # No meaningful deadline: rank by value alone, behind
+                # deadline-carrying queries of equal value.
+                return -txn.qc.total_max
+            return -(txn.qc.total_max / rtmax)
+        return txn.arrival_time
+
+
+class EDFPriority(PriorityPolicy):
+    """Earliest (absolute QoS) Deadline First — a plug-in alternative."""
+
+    name = "edf"
+
+    def key(self, txn: Transaction) -> float:
+        if isinstance(txn, Query):
+            return txn.arrival_time + txn.qc.rt_max
+        return txn.arrival_time
+
+
+class ProfitRatePriority(PriorityPolicy):
+    """Highest profit per unit of service time first (greedy knapsack)."""
+
+    name = "profit-rate"
+
+    def key(self, txn: Transaction) -> float:
+        if isinstance(txn, Query):
+            return -(txn.qc.total_max / txn.exec_time)
+        return txn.arrival_time
+
+
+#: Registry for CLI / config lookup.
+PRIORITY_POLICIES: dict[str, type[PriorityPolicy]] = {
+    "fcfs": FCFSPriority,
+    "vrd": VRDPriority,
+    "edf": EDFPriority,
+    "profit-rate": ProfitRatePriority,
+}
+
+
+def make_priority(name: str) -> PriorityPolicy:
+    """Instantiate a policy by registry name (raises KeyError if unknown)."""
+    try:
+        cls = PRIORITY_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown priority policy {name!r}; "
+            f"choose from {sorted(PRIORITY_POLICIES)}") from None
+    return cls()

@@ -1,0 +1,91 @@
+"""Transaction queues with lazy invalidation.
+
+Scheduling queues must tolerate transactions dying *while queued*: an update
+is superseded by a newer arrival (register-table invalidation), a query hits
+its lifetime deadline.  :class:`TransactionQueue` is a binary heap with lazy
+deletion — dead entries are skipped at pop time — plus membership tracking
+so a transaction is never queued twice.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing
+
+from repro.db.transactions import Transaction
+
+from .priorities import PriorityPolicy
+
+
+class TransactionQueue:
+    """A priority queue over transactions, ordered by a priority policy."""
+
+    def __init__(self, policy: PriorityPolicy, name: str = "") -> None:
+        self.policy = policy
+        self.name = name
+        self._heap: list[tuple[float, int, Transaction]] = []
+        self._members: set[int] = set()
+        self._ties = itertools.count()
+
+    def __len__(self) -> int:
+        """Number of *live* queued transactions (O(n): skips dead entries).
+
+        Use :meth:`approximate_len` on hot paths; exact length is for tests
+        and reports.
+        """
+        return sum(1 for __, __, txn in self._heap
+                   if txn.alive and txn.txn_id in self._members)
+
+    def __repr__(self) -> str:
+        return (f"<TransactionQueue {self.name!r} policy={self.policy.name} "
+                f"entries={len(self._heap)}>")
+
+    def approximate_len(self) -> int:
+        """Heap size including dead entries (O(1))."""
+        return len(self._heap)
+
+    def push(self, txn: Transaction) -> None:
+        """Enqueue ``txn`` unless it is already queued or no longer alive."""
+        if not txn.alive or txn.txn_id in self._members:
+            return
+        key = self.policy.key(txn)
+        heapq.heappush(self._heap, (key, next(self._ties), txn))
+        self._members.add(txn.txn_id)
+
+    def pop(self) -> Transaction | None:
+        """Dequeue the highest-priority live transaction (None if empty)."""
+        while self._heap:
+            __, __, txn = heapq.heappop(self._heap)
+            if txn.txn_id not in self._members:
+                continue
+            self._members.discard(txn.txn_id)
+            if txn.alive:
+                return txn
+        return None
+
+    def peek(self) -> Transaction | None:
+        """The transaction :meth:`pop` would return, without removing it."""
+        while self._heap:
+            __, __, txn = self._heap[0]
+            if txn.txn_id in self._members and txn.alive:
+                return txn
+            heapq.heappop(self._heap)
+            self._members.discard(txn.txn_id)
+        return None
+
+    def discard(self, txn: Transaction) -> None:
+        """Remove ``txn`` from the queue if present (lazy: entry is skipped
+        later)."""
+        self._members.discard(txn.txn_id)
+
+    def is_empty(self) -> bool:
+        return self.peek() is None
+
+    def drain(self) -> typing.Iterator[Transaction]:
+        """Pop everything (used at simulation end to account leftovers)."""
+        while True:
+            txn = self.pop()
+            if txn is None:
+                return
+            yield txn

@@ -1,0 +1,44 @@
+"""A from-scratch discrete-event simulation kernel (simpy-like).
+
+The kernel provides:
+
+* :class:`Environment` — the clock and event loop;
+* :class:`Event`, :class:`Timeout`, condition helpers — synchronisation;
+* :class:`Process` / :class:`Interrupt` — generator-based coroutines;
+* :class:`StreamRegistry` — named deterministic random streams;
+* monitors — tallies, time series, time-weighted averages.
+
+Time is a float interpreted as **milliseconds** throughout this library.
+"""
+
+from .environment import Environment, Infinity
+from .errors import (EventLifecycleError, Interrupt, ProcessError,
+                     SchedulingError, SimulationError)
+from .events import Condition, ConditionValue, Event, Timeout, all_of, any_of
+from .monitor import Counter, CounterSet, Tally, TimeSeries, TimeWeighted
+from .process import Process
+from .rng import RandomStream, StreamRegistry
+
+__all__ = [
+    "Condition",
+    "ConditionValue",
+    "Counter",
+    "CounterSet",
+    "Environment",
+    "Event",
+    "EventLifecycleError",
+    "Infinity",
+    "Interrupt",
+    "Process",
+    "ProcessError",
+    "RandomStream",
+    "SchedulingError",
+    "SimulationError",
+    "StreamRegistry",
+    "Tally",
+    "TimeSeries",
+    "TimeWeighted",
+    "Timeout",
+    "all_of",
+    "any_of",
+]

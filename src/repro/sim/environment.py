@@ -1,0 +1,150 @@
+"""The simulation environment: clock, event queue, and run loop.
+
+:class:`Environment` owns simulated time and a priority queue of pending
+events.  Time is a float; in this library it is interpreted as milliseconds
+throughout (the paper's workload is specified in milliseconds).
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from itertools import count
+
+from .errors import EventLifecycleError, SchedulingError, StopSimulation
+from .events import Event, Timeout, all_of, any_of
+from .process import Event_NORMAL, Process, ProcessGenerator
+
+Infinity = float("inf")
+
+
+class Environment:
+    """A single-clock discrete-event simulation environment.
+
+    Example::
+
+        env = Environment()
+
+        def ticker(env):
+            while True:
+                yield env.timeout(10.0)
+
+        env.process(ticker(env))
+        env.run(until=100.0)
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Process | None = None
+
+    def __repr__(self) -> str:
+        return f"<Environment t={self._now} queued={len(self._queue)}>"
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (milliseconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process whose generator is currently executing, if any."""
+        return self._active_proc
+
+    # ------------------------------------------------------------------
+    # Event construction helpers
+    # ------------------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event owned by this environment."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """An event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: str | None = None) -> Process:
+        """Start a new process from ``generator``; returns its Process
+        event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: typing.Iterable[Event]) -> Event:
+        """Condition event triggering when all ``events`` have succeeded."""
+        return all_of(self, events)
+
+    def any_of(self, events: typing.Iterable[Event]) -> Event:
+        """Condition event triggering when any of ``events`` has succeeded."""
+        return any_of(self, events)
+
+    # ------------------------------------------------------------------
+    # Scheduling and stepping
+    # ------------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = Event_NORMAL) -> None:
+        """Place a triggered event on the queue ``delay`` units from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {event!r} in the past "
+                                  f"(delay={delay})")
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def step(self) -> None:
+        """Process the next event, advancing the clock to its time."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EventLifecycleError("no more events") from None
+
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure: abort the simulation loudly.
+            exc = typing.cast(BaseException, event._value)
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> object:
+        """Run until ``until`` (a time, an event, or queue exhaustion).
+
+        Returns the value of the ``until`` event if one was given and it
+        triggered, else ``None``.
+        """
+        stop_event: Event | None = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise SchedulingError(
+                        f"until={at} lies in the past (now={self._now})")
+                stop_event = Event(self)
+                # Use low priority so all events at `at` run first.
+                stop_event._ok = True
+                stop_event._value = None
+                self.schedule(stop_event, delay=at - self._now,
+                              priority=Event_NORMAL + 1)
+            if stop_event.callbacks is None:
+                # Already processed before run() was called.
+                return stop_event.value
+            stop_event.callbacks.append(_stop_simulation)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        return None
+
+
+def _stop_simulation(event: Event) -> None:
+    raise StopSimulation(event._value)

@@ -1,0 +1,55 @@
+"""Exception types for the discrete-event simulation kernel.
+
+The kernel keeps its error vocabulary small and explicit: scheduling in the
+past, running a finished environment, or misusing an event all raise
+:class:`SimulationError` subclasses so that callers can distinguish kernel
+misuse from failures inside simulated processes (which propagate the original
+exception).
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled incorrectly (e.g. in the simulated past)."""
+
+
+class EventLifecycleError(SimulationError):
+    """An event was triggered, succeeded, or failed more than once."""
+
+
+class ProcessError(SimulationError):
+    """A process was interacted with in an invalid state."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow signal that stops :meth:`Environment.run`.
+
+    Raised by the environment itself when the ``until`` event triggers; user
+    code never needs to raise or catch it.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted by another process.
+
+    The interrupting party supplies an arbitrary ``cause`` that the
+    interrupted process can inspect to decide how to react (resume, restart,
+    abort, ...).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The object passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,219 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+Events follow the classic simpy-style lifecycle:
+
+* *untriggered* — freshly created, not yet scheduled;
+* *triggered*  — given a value (or an exception) and placed on the event
+  queue, but callbacks have not run yet;
+* *processed*  — popped from the queue, all callbacks executed.
+
+An :class:`Event` may succeed with a value or fail with an exception.
+Failures propagate into every process waiting on the event, so errors inside
+simulated components never pass silently.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from .errors import EventLifecycleError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .environment import Environment
+
+Callback = typing.Callable[["Event"], None]
+
+#: Sentinel for "this event has not been given a value yet".
+PENDING = object()
+
+
+class Event:
+    """A happening at a point in simulated time, awaited by processes.
+
+    Events are the only synchronisation primitive in the kernel; timeouts,
+    process termination, and condition events are all subclasses.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callback] | None = []
+        self._value: object = PENDING
+        self._ok: bool | None = None
+        #: Set when a failure was handed to at least one waiter (or
+        #: explicitly ignored); unhandled failures abort the simulation.
+        self._defused = False
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.env.now}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is on the event queue."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise EventLifecycleError(f"{self!r} has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or failure exception).  Only valid once set."""
+        if self._value is PENDING:
+            raise EventLifecycleError(f"{self!r} has no value yet")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise EventLifecycleError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure carrying ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise EventLifecycleError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(typing.cast(BaseException, event._value))
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation.
+
+    Timeouts are triggered immediately at construction; the delay is encoded
+    in their position on the event queue.
+    """
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class ConditionValue:
+    """Mapping-like view of the values of the events a condition waited on."""
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def __getitem__(self, key: Event) -> object:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __iter__(self) -> typing.Iterator[Event]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"<ConditionValue {self.todict()!r}>"
+
+    def todict(self) -> dict[Event, object]:
+        return {event: event.value for event in self.events}
+
+
+class Condition(Event):
+    """An event that triggers when ``evaluate`` is satisfied by its children.
+
+    Used through the :func:`all_of` / :func:`any_of` helpers (or the ``&`` /
+    ``|`` operators on events, which are intentionally *not* provided here to
+    keep the API explicit).
+    """
+
+    def __init__(self, env: "Environment",
+                 evaluate: typing.Callable[[list[Event], int], bool],
+                 events: typing.Iterable[Event]) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events belong to different environments")
+
+        # Register with children; already-triggered children are counted
+        # immediately by checking processed/triggered state.
+        for event in self._events:
+            if event.callbacks is None:
+                # Already processed: evaluate its outcome right now.
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        # If no child events at all, the condition is vacuously true.
+        if not self._events and self._value is PENDING:
+            self.succeed(ConditionValue())
+
+    def _collect_values(self) -> ConditionValue:
+        value = ConditionValue()
+        for event in self._events:
+            # Only *processed* events have actually happened; timeouts are
+            # "triggered" from construction but fire later.
+            if event.processed and event.ok:
+                value.events.append(event)
+        return value
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event.ok:
+            event.defuse()
+            self.fail(typing.cast(BaseException, event.value))
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+def all_of(env: "Environment", events: typing.Iterable[Event]) -> Condition:
+    """Condition that triggers once *all* of ``events`` have succeeded."""
+    return Condition(env, lambda evs, count: count >= len(evs), events)
+
+
+def any_of(env: "Environment", events: typing.Iterable[Event]) -> Condition:
+    """Condition that triggers once *any* of ``events`` has succeeded."""
+    return Condition(env, lambda evs, count: count >= 1 or not evs, events)

@@ -1,0 +1,194 @@
+"""Measurement utilities: tallies, time series, and time-weighted averages.
+
+These are deliberately simple, dependency-free accumulators.  They are used
+by the database server and the experiment harness to collect the statistics
+that back every figure in the paper (response times, staleness, profit per
+adaptation period, ρ trajectories, queue lengths, ...).
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+class Tally:
+    """Streaming summary of an unweighted sample (Welford's algorithm)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def __repr__(self) -> str:
+        return (f"<Tally {self.name!r} n={self.count} mean={self.mean:.4g} "
+                f"min={self.minimum:.4g} max={self.maximum:.4g}>")
+
+    def observe(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Sample mean; 0.0 when empty (convenient for reports)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance; 0.0 with fewer than two observations."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class TimeSeries:
+    """An explicit (time, value) series — e.g. Figure 9d's ρ
+    trajectory."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries {self.name!r} n={len(self)}>"
+
+    def record(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time {time} precedes last recorded time {self.times[-1]}")
+        self.times.append(time)
+        self.values.append(value)
+
+    def items(self) -> typing.Iterator[tuple[float, float]]:
+        return zip(self.times, self.values)
+
+    def moving_window_average(self, window: float) -> "TimeSeries":
+        """Centred moving-window average over simulated time.
+
+        This is the "filter with the moving-window size of 5 seconds" the
+        paper applies before plotting Figure 9.
+        """
+        if window <= 0:
+            raise ValueError("window must be positive")
+        smoothed = TimeSeries(f"{self.name}|mw{window}")
+        half = window / 2.0
+        n = len(self.times)
+        lo = 0
+        hi = 0
+        acc = 0.0
+        for i, t in enumerate(self.times):
+            while hi < n and self.times[hi] <= t + half:
+                acc += self.values[hi]
+                hi += 1
+            while lo < n and self.times[lo] < t - half:
+                acc -= self.values[lo]
+                lo += 1
+            count = hi - lo
+            smoothed.record(t, acc / count if count else 0.0)
+        return smoothed
+
+    def bucket_sums(self, bucket: float, *, start: float = 0.0,
+                    end: float | None = None) -> "TimeSeries":
+        """Sum values into fixed-width buckets (e.g. profit per second)."""
+        if bucket <= 0:
+            raise ValueError("bucket must be positive")
+        stop = end if end is not None else (self.times[-1] if self.times
+                                            else start)
+        n_buckets = max(1, math.ceil((stop - start) / bucket))
+        sums = [0.0] * n_buckets
+        for t, v in self.items():
+            idx = int((t - start) / bucket)
+            if 0 <= idx < n_buckets:
+                sums[idx] += v
+        out = TimeSeries(f"{self.name}|bucket{bucket}")
+        for i, s in enumerate(sums):
+            out.record(start + (i + 0.5) * bucket, s)
+        return out
+
+
+class TimeWeighted:
+    """Time-weighted average of a piecewise-constant signal (queue lengths)."""
+
+    def __init__(self, env_now: typing.Callable[[], float],
+                 initial: float = 0.0, name: str = "") -> None:
+        self.name = name
+        self._now = env_now
+        self._last_time = env_now()
+        self._last_value = initial
+        self._area = 0.0
+        self._start = self._last_time
+
+    def update(self, value: float) -> None:
+        """Record that the signal changed to ``value`` now."""
+        now = self._now()
+        self._area += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = value
+
+    @property
+    def current(self) -> float:
+        return self._last_value
+
+    @property
+    def average(self) -> float:
+        """Time-weighted mean from creation until now."""
+        now = self._now()
+        area = self._area + self._last_value * (now - self._last_time)
+        span = now - self._start
+        return area / span if span > 0 else self._last_value
+
+
+class Counter:
+    """A named monotone counter with a convenience mapping container."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, by: int = 1) -> None:
+        self.value += by
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name!r}={self.value}>"
+
+
+class CounterSet:
+    """Dict-of-counters with attribute-free, explicit access."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+
+    def increment(self, name: str, by: int = 1) -> None:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self._counters[name] = counter
+        counter.increment(by)
+
+    def value(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.value if counter else 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def __repr__(self) -> str:
+        return f"<CounterSet {self.as_dict()!r}>"

@@ -1,0 +1,160 @@
+"""Generator-based processes for the discrete-event simulation kernel.
+
+A *process* wraps a Python generator yielding
+:class:`~repro.sim.events.Event`
+instances.  Each yield suspends the process until the yielded event triggers;
+the event's value is sent back into the generator (or its failure exception
+is thrown into it).  Processes are themselves events that trigger when the
+generator terminates, so processes can wait for each other.
+"""
+
+from __future__ import annotations
+
+import types
+import typing
+
+from .errors import Interrupt, ProcessError
+from .events import PENDING, Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .environment import Environment
+
+ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
+
+
+class Initialize(Event):
+    """Immediate event that starts a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=Event_URGENT)
+
+
+class Interruption(Event):
+    """Immediate event that throws :class:`Interrupt` into a process."""
+
+    def __init__(self, process: "Process", cause: object) -> None:
+        super().__init__(process.env)
+        if process._value is not PENDING:
+            raise ProcessError(f"{process!r} has terminated and cannot be "
+                               "interrupted")
+        if process is self.env.active_process:
+            raise ProcessError("a process is not allowed to interrupt itself")
+        self.callbacks = [self._interrupt]
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.process = process
+        self.env.schedule(self, priority=Event_URGENT)
+
+    def _interrupt(self, event: Event) -> None:
+        if self.process._value is not PENDING:
+            # Process terminated before the interruption fired; drop it.
+            return
+        # Unsubscribe the process from whatever it was waiting for, then
+        # resume it with the Interrupt failure.
+        target = self.process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self.process._resume)
+            except ValueError:
+                pass
+        self.process._resume(self)
+
+
+#: Scheduling priority for "urgent" bookkeeping events (process start and
+#: interrupts) — they run before normal events at the same timestamp.
+Event_URGENT = 0
+Event_NORMAL = 1
+
+
+class Process(Event):
+    """An event that wraps a running generator.
+
+    The process triggers when the generator returns (success, with the return
+    value) or raises (failure, with the exception).
+    """
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: str | None = None) -> None:
+        if not isinstance(generator, types.GeneratorType):
+            raise ProcessError(f"{generator!r} is not a generator; did you "
+                               "call the process function?")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or generator.__name__
+        #: The event the process is currently waiting for.
+        self._target: Event | None = Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return f"<Process({self.name}) at t={self.env.now}>"
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting for (or ``None``)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw an :class:`Interrupt` with ``cause`` into the process.
+
+        The interrupt is delivered as a failure of whatever event the process
+        is currently waiting on; the process may catch it and continue.
+        """
+        Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The caused failure is handed into the process; mark it
+                    # defused so the environment does not crash if the
+                    # process chooses to handle it.
+                    event._defused = True
+                    exc = typing.cast(BaseException, event._value)
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                # Generator finished successfully.
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as exc:
+                # Generator crashed: fail the process event.
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            if next_event is None or not isinstance(next_event, Event):
+                proc_exc = ProcessError(
+                    f"process {self.name!r} yielded {next_event!r}, "
+                    "which is not an Event")
+                # Throw back into the generator so it shows in its traceback.
+                event = Event(self.env)
+                event._ok = False
+                event._value = proc_exc
+                event._defused = True
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: loop immediately with its outcome.
+            event = next_event
+
+        self.env._active_proc = None

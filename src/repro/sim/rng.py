@@ -1,0 +1,129 @@
+"""Named, seeded random-number streams.
+
+Every stochastic component in the library (trace generation, quality-contract
+sampling, the QUTS ``ξ`` draw, ...) pulls from its *own* named stream derived
+from a single master seed.  This keeps experiments exactly reproducible and
+— crucially for comparisons — means that changing, say, the scheduler's
+random draws does not perturb the workload's random draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+import typing
+
+
+def _derive_seed(master_seed: int, name: str) -> int:
+    """Derive a stable 64-bit seed for ``name`` from ``master_seed``."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream(random.Random):
+    """A ``random.Random`` with a name, for debuggability."""
+
+    def __init__(self, seed: int, name: str) -> None:
+        super().__init__(seed)
+        self.name = name
+        self.initial_seed = seed
+
+    def __repr__(self) -> str:
+        return f"<RandomStream {self.name!r} seed={self.initial_seed}>"
+
+    # ------------------------------------------------------------------
+    # Distribution helpers used throughout the workload generator
+    # ------------------------------------------------------------------
+    def exponential(self, mean: float) -> float:
+        """Exponential variate with the given *mean* (not rate)."""
+        if mean <= 0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return self.expovariate(1.0 / mean)
+
+    def zipf_rank(self, n: int, theta: float) -> int:
+        """Draw a 1-based rank from a Zipf(θ) distribution over ``n`` items.
+
+        Uses the rejection-inversion-free cumulative method with a cached
+        normaliser; adequate for the item-count scales used here.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        # Inverse-CDF on the (cached) harmonic weights.
+        cdf = _zipf_cdf(n, theta)
+        u = self.random()
+        return _bisect_cdf(cdf, u) + 1
+
+    def bounded_pareto(self, alpha: float, low: float, high: float) -> float:
+        """Bounded Pareto variate in ``[low, high]`` with shape ``alpha``."""
+        if not 0 < low < high:
+            raise ValueError("need 0 < low < high")
+        u = self.random()
+        la, ha = low ** alpha, high ** alpha
+        return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+
+
+@typing.no_type_check
+def _zipf_cdf(n: int, theta: float) -> list[float]:
+    """Cumulative Zipf weights, memoised per (n, theta)."""
+    key = (n, round(theta, 9))
+    cached = _ZIPF_CACHE.get(key)
+    if cached is not None:
+        return cached
+    weights = [1.0 / (rank ** theta) for rank in range(1, n + 1)]
+    total = math.fsum(weights)
+    acc = 0.0
+    cdf = []
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    cdf[-1] = 1.0
+    _ZIPF_CACHE[key] = cdf
+    return cdf
+
+
+def _bisect_cdf(cdf: list[float], u: float) -> int:
+    lo, hi = 0, len(cdf) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if cdf[mid] < u:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+_ZIPF_CACHE: dict[tuple[int, float], list[float]] = {}
+
+
+class StreamRegistry:
+    """Factory handing out named :class:`RandomStream` objects.
+
+    Streams are created lazily and cached, so two requests for the same name
+    return the same stream object.
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: dict[str, RandomStream] = {}
+
+    def __repr__(self) -> str:
+        return (f"<StreamRegistry master_seed={self.master_seed} "
+                f"streams={sorted(self._streams)}>")
+
+    def stream(self, name: str) -> RandomStream:
+        """The stream for ``name``, creating it on first use."""
+        existing = self._streams.get(name)
+        if existing is not None:
+            return existing
+        stream = RandomStream(_derive_seed(self.master_seed, name), name)
+        self._streams[name] = stream
+        return stream
+
+    def spawn(self, name: str) -> "StreamRegistry":
+        """A child registry whose master seed is derived from ``name``.
+
+        Useful for giving each repetition of an experiment an independent
+        but reproducible seed universe.
+        """
+        return StreamRegistry(_derive_seed(self.master_seed, f"child:{name}"))

@@ -1,0 +1,144 @@
+"""Trace containers and I/O.
+
+A :class:`Trace` is the replayable input of a simulation: time-ordered query
+records (arrival, read set, service time) and update records (arrival, item,
+service time, new value).  Quality contracts are *not* part of the trace —
+the paper varies QCs over the same trace, so contracts are attached at
+submission time by the experiment configuration.
+
+Traces serialise to a simple two-file CSV format so generated workloads can
+be inspected, versioned, and re-used across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import pathlib
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryRecord:
+    """One read-only query in a trace."""
+
+    arrival_ms: float
+    items: tuple[str, ...]
+    exec_ms: float
+
+    def __post_init__(self) -> None:
+        if self.exec_ms <= 0:
+            raise ValueError(f"exec_ms must be positive, got {self.exec_ms}")
+        if not self.items:
+            raise ValueError("a query must access at least one item")
+
+
+@dataclasses.dataclass(frozen=True)
+class UpdateRecord:
+    """One blind update in a trace."""
+
+    arrival_ms: float
+    item: str
+    exec_ms: float
+    value: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.exec_ms <= 0:
+            raise ValueError(f"exec_ms must be positive, got {self.exec_ms}")
+
+
+class Trace:
+    """A complete, time-ordered workload (queries + updates)."""
+
+    def __init__(self, queries: typing.Sequence[QueryRecord],
+                 updates: typing.Sequence[UpdateRecord],
+                 duration_ms: float,
+                 name: str = "trace") -> None:
+        if duration_ms <= 0:
+            raise ValueError(f"duration must be positive, got {duration_ms}")
+        self.queries = sorted(queries, key=lambda r: r.arrival_ms)
+        self.updates = sorted(updates, key=lambda r: r.arrival_ms)
+        self.duration_ms = float(duration_ms)
+        self.name = name
+        for record in self.queries:
+            if not 0 <= record.arrival_ms <= duration_ms:
+                raise ValueError(
+                    f"query arrival {record.arrival_ms} outside "
+                    f"[0, {duration_ms}]")
+        for record in self.updates:
+            if not 0 <= record.arrival_ms <= duration_ms:
+                raise ValueError(
+                    f"update arrival {record.arrival_ms} outside "
+                    f"[0, {duration_ms}]")
+
+    def __repr__(self) -> str:
+        return (f"<Trace {self.name!r} queries={len(self.queries)} "
+                f"updates={len(self.updates)} "
+                f"duration={self.duration_ms / 1000:.0f}s>")
+
+    @property
+    def stocks(self) -> frozenset[str]:
+        """Every item referenced anywhere in the trace."""
+        keys: set[str] = set()
+        for query in self.queries:
+            keys.update(query.items)
+        for update in self.updates:
+            keys.add(update.item)
+        return frozenset(keys)
+
+    def slice(self, end_ms: float, name: str | None = None) -> "Trace":
+        """The prefix of the trace up to ``end_ms`` (for scaled-down runs)."""
+        if not 0 < end_ms <= self.duration_ms:
+            raise ValueError(f"end_ms must be in (0, {self.duration_ms}]")
+        return Trace(
+            [q for q in self.queries if q.arrival_ms <= end_ms],
+            [u for u in self.updates if u.arrival_ms <= end_ms],
+            end_ms, name=name or f"{self.name}[:{end_ms:.0f}ms]")
+
+    # ------------------------------------------------------------------
+    # CSV persistence
+    # ------------------------------------------------------------------
+    def save(self, directory: str | pathlib.Path) -> None:
+        """Write ``queries.csv`` and ``updates.csv`` under ``directory``."""
+        path = pathlib.Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        with open(path / "queries.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["arrival_ms", "items", "exec_ms"])
+            for q in self.queries:
+                writer.writerow([f"{q.arrival_ms:.17g}", "|".join(q.items),
+                                 f"{q.exec_ms:.17g}"])
+        with open(path / "updates.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["arrival_ms", "item", "exec_ms", "value"])
+            for u in self.updates:
+                writer.writerow([f"{u.arrival_ms:.17g}", u.item,
+                                 f"{u.exec_ms:.17g}", f"{u.value:.17g}"])
+        with open(path / "meta.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["name", "duration_ms"])
+            writer.writerow([self.name, f"{self.duration_ms:.17g}"])
+
+    @classmethod
+    def load(cls, directory: str | pathlib.Path) -> "Trace":
+        """Read a trace previously written by :meth:`save`."""
+        path = pathlib.Path(directory)
+        queries: list[QueryRecord] = []
+        with open(path / "queries.csv", newline="") as handle:
+            for row in csv.DictReader(handle):
+                queries.append(QueryRecord(
+                    arrival_ms=float(row["arrival_ms"]),
+                    items=tuple(row["items"].split("|")),
+                    exec_ms=float(row["exec_ms"])))
+        updates: list[UpdateRecord] = []
+        with open(path / "updates.csv", newline="") as handle:
+            for row in csv.DictReader(handle):
+                updates.append(UpdateRecord(
+                    arrival_ms=float(row["arrival_ms"]),
+                    item=row["item"],
+                    exec_ms=float(row["exec_ms"]),
+                    value=float(row["value"])))
+        with open(path / "meta.csv", newline="") as handle:
+            meta = next(iter(csv.DictReader(handle)))
+        return cls(queries, updates, duration_ms=float(meta["duration_ms"]),
+                   name=meta["name"])

@@ -1,0 +1,125 @@
+"""Tests for the admission-control extension."""
+
+import pytest
+
+from repro.db.admission import (AdmissionPolicy, AdmitAll,
+                                ProfitAwareAdmission)
+from repro.db.database import Database
+from repro.db.server import DatabaseServer, ServerConfig
+from repro.db.transactions import Query, TxnStatus
+from repro.experiments.runner import run_simulation
+from repro.metrics.profit import ProfitLedger
+from repro.qc.contracts import QualityContract
+from repro.scheduling import make_scheduler, make_uh
+from repro.sim import Environment
+from repro.sim.rng import StreamRegistry
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+
+
+def step_qc(qosmax=10.0, rtmax=50.0, qodmax=10.0):
+    return QualityContract.step(qosmax, rtmax, qodmax, 1.0)
+
+
+def query(qosmax=10.0, rtmax=50.0, qodmax=10.0, at=0.0):
+    return Query(at, 7.0, ("A",), step_qc(qosmax, rtmax, qodmax))
+
+
+def build_server(admission):
+    env = Environment()
+    ledger = ProfitLedger()
+    server = DatabaseServer(env, Database(), make_uh(), ledger,
+                            StreamRegistry(0),
+                            config=ServerConfig(class_switch_overhead=0.0),
+                            admission=admission)
+    return env, server, ledger
+
+
+class TestPolicyValidation:
+    def test_base_policy_abstract(self):
+        with pytest.raises(NotImplementedError):
+            AdmissionPolicy().admit(query(), None)  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mean_query_service_ms": 0.0},
+        {"slack_factor": 0.5},
+        {"qod_weight": 1.5},
+    ])
+    def test_profit_aware_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ProfitAwareAdmission(**kwargs)
+
+
+class TestAdmitAll:
+    def test_everything_enters(self):
+        env, server, ledger = build_server(AdmitAll())
+        server.submit_query(query())
+        env.run(until=50.0)
+        assert ledger.counters.value("queries_committed") == 1
+        assert ledger.counters.value("queries_rejected") == 0
+
+
+class TestProfitAwareAdmission:
+    def test_admits_when_backlog_small(self):
+        env, server, ledger = build_server(ProfitAwareAdmission())
+        server.submit_query(query())
+        env.run(until=100.0)
+        assert ledger.counters.value("queries_rejected") == 0
+
+    def test_rejects_when_backlog_hopeless(self):
+        env, server, ledger = build_server(
+            ProfitAwareAdmission(slack_factor=1.0, qod_weight=0.9))
+        # Flood the queue far beyond any rtmax before time advances.
+        for __ in range(100):
+            server.submit_query(query(qosmax=10.0, qodmax=1.0))
+        rejected = ledger.counters.value("queries_rejected")
+        assert rejected > 0
+        submitted = ledger.counters.value("queries_submitted")
+        assert submitted + rejected == 100
+
+    def test_qod_heavy_query_admitted_despite_backlog(self):
+        env, server, __ = build_server(
+            ProfitAwareAdmission(slack_factor=1.0, qod_weight=0.5))
+        for __ in range(100):
+            server.submit_query(query(qosmax=10.0, qodmax=1.0))
+        # A QoD-dominant query is still worth running late.
+        fresh_lover = query(qosmax=1.0, qodmax=99.0)
+        server.submit_query(fresh_lover)
+        assert fresh_lover.status is TxnStatus.QUEUED
+
+    def test_rejected_query_profit_neutral(self):
+        env, server, ledger = build_server(
+            ProfitAwareAdmission(slack_factor=1.0, qod_weight=1.0))
+        for __ in range(100):
+            server.submit_query(query())
+        before = ledger.total_max
+        victim = query()
+        server.submit_query(victim)
+        assert victim.status is TxnStatus.REJECTED
+        assert ledger.total_max == before  # denominators untouched
+
+    def test_no_deadline_always_admitted(self):
+        env, server, __ = build_server(ProfitAwareAdmission())
+        free = Query(0.0, 7.0, ("A",), QualityContract.free())
+        for __ in range(100):
+            server.submit_query(query())
+        server.submit_query(free)
+        assert free.status is TxnStatus.QUEUED
+
+
+class TestEndToEnd:
+    def test_admission_can_only_help_uh_profit_rate(self):
+        """Under UH's meltdown, shedding hopeless queries must not reduce
+        the profit actually gained (it only declines contracts that were
+        going to pay nothing)."""
+        trace = StockWorkloadGenerator(WorkloadSpec().scaled(20_000.0),
+                                       master_seed=11).generate()
+        from repro.qc.generator import QCFactory
+        plain = run_simulation(make_scheduler("UH"), trace,
+                               QCFactory.balanced(), master_seed=1)
+        shed = run_simulation(make_scheduler("UH"), trace,
+                              QCFactory.balanced(), master_seed=1,
+                              admission=ProfitAwareAdmission())
+        assert shed.counters.get("queries_rejected", 0) > 0
+        # Gained dollars with shedding stay within a small factor of the
+        # admit-all run (rejected queries were mostly worthless anyway).
+        assert shed.ledger.total_gained >= 0.8 * plain.ledger.total_gained

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_accepted(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["fig1", "--scale", "smoke"])
+        assert args.scale == "smoke"
+
+    def test_policy_and_seed_options(self):
+        args = build_parser().parse_args(
+            ["run", "--policy", "UH", "--seed", "42"])
+        assert args.policy == "UH"
+        assert args.seed == 42
+
+
+class TestMain:
+    def test_table4_prints_grid(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "$90 ~ $99" in out
+
+    def test_table3_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "query execution time" in out
+        assert "5 ~ 9ms" in out
+
+    def test_run_smoke(self, capsys):
+        assert main(["run", "--scale", "smoke", "--policy", "QH"]) == 0
+        out = capsys.readouterr().out
+        assert "QH" in out
+        assert "queries_committed" in out
+
+    def test_fig5_smoke(self, capsys):
+        assert main(["fig5", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "queries per second" in out
+        assert "updates per second" in out
+
+    def test_ablation_which_option(self):
+        args = build_parser().parse_args(["ablation", "--which",
+                                          "invalidation"])
+        assert args.which == "invalidation"
+
+    def test_ablation_unknown_sweep_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "--which", "everything"])
+
+    def test_export_fig1(self, tmp_path, capsys):
+        assert main(["export", "--scale", "smoke", "--figures", "fig1",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        csv_text = (tmp_path / "fig1.csv").read_text()
+        assert csv_text.startswith("policy,response_time_ms,staleness_uu")
+        assert "FIFO-UH" in csv_text
+
+    def test_export_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["export", "--figures", "fig99", "--out", str(tmp_path)])

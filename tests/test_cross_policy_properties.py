@@ -1,0 +1,173 @@
+"""Property-based cross-policy equivalences and kernel soak tests.
+
+These capture facts that must hold for *any* scheduling policy in this
+system model, plus stress cases for the kernel.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.database import Database
+from repro.db.server import DatabaseServer, ServerConfig
+from repro.db.transactions import Update
+from repro.experiments.runner import run_simulation
+from repro.metrics.profit import ProfitLedger
+from repro.qc.generator import QCFactory
+from repro.scheduling import make_scheduler
+from repro.sim import Environment, Interrupt
+from repro.sim.rng import StreamRegistry
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+from repro.workload.traces import Trace, UpdateRecord
+
+POLICIES = ("FIFO", "UH", "QH", "QUTS")
+
+
+def update_only_trace(seed: int, n_updates: int = 60,
+                      n_items: int = 5) -> Trace:
+    """A deterministic update-only workload over a handful of items."""
+    import random
+    rng = random.Random(seed)
+    updates = []
+    t = 0.0
+    for k in range(n_updates):
+        t += rng.uniform(0.5, 10.0)
+        updates.append(UpdateRecord(t, f"S{rng.randrange(n_items)}",
+                                    rng.uniform(1.0, 5.0),
+                                    value=float(k + 1)))
+    return Trace([], updates, duration_ms=t + 1.0, name=f"updates-{seed}")
+
+
+class TestUpdateOnlyEquivalence:
+    """With no queries, every policy must leave the database in the same
+    final state: each item's replica equals the last value pushed for it
+    (updates are FIFO within their class in all four policies)."""
+
+    @given(st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=10, deadline=None)
+    def test_final_values_policy_independent(self, seed):
+        trace = update_only_trace(seed)
+        final_values = {}
+        # run_simulation discards the database, so replay directly:
+        for policy in POLICIES:
+            env = Environment()
+            database = Database()
+            server = DatabaseServer(env, database, make_scheduler(policy),
+                                    ProfitLedger(), StreamRegistry(seed),
+                                    config=ServerConfig())
+
+            def source(env, server=server):
+                for record in trace.updates:
+                    delay = record.arrival_ms - env.now
+                    if delay > 0:
+                        yield env.timeout(delay)
+                    server.submit_update(Update(env.now, record.exec_ms,
+                                                record.item,
+                                                value=record.value))
+
+            env.process(source(env))
+            env.run(until=trace.duration_ms + 60_000.0)
+            final_values[policy] = {
+                item.key: item.value for item in database.items()}
+
+        expected = {}
+        for record in trace.updates:
+            expected[record.item] = record.value
+        for policy, values in final_values.items():
+            assert values == expected, policy
+
+
+class TestStalenessMonotonicity:
+    """Giving updates strictly more priority can only reduce the mean
+    staleness observed by queries: uu(UH) <= uu(QUTS) and uu(UH) <=
+    uu(QH) on the same trace."""
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_uh_minimises_staleness(self, seed):
+        trace = StockWorkloadGenerator(WorkloadSpec().scaled(15_000.0),
+                                       master_seed=seed).generate()
+        results = {p: run_simulation(make_scheduler(p), trace,
+                                     QCFactory.balanced(), master_seed=1)
+                   for p in POLICIES}
+        for policy in ("FIFO", "QH", "QUTS"):
+            assert results["UH"].mean_staleness \
+                <= results[policy].mean_staleness + 1e-9, policy
+
+
+class TestLoadMonotonicity:
+    """Scaling all arrival rates down must not worsen the profit
+    percentage (a sanity property of the whole stack)."""
+
+    def test_lighter_load_not_worse(self):
+        base = WorkloadSpec().scaled(15_000.0)
+        light = dataclasses.replace(
+            base,
+            query_rate_per_s=base.query_rate_per_s / 4,
+            update_rate_per_s=base.update_rate_per_s / 4,
+            crowds_per_5min=0.0)
+        heavy_trace = StockWorkloadGenerator(base, master_seed=5).generate()
+        light_trace = StockWorkloadGenerator(light, master_seed=5).generate()
+        for policy in ("FIFO", "QUTS"):
+            heavy = run_simulation(make_scheduler(policy), heavy_trace,
+                                   QCFactory.balanced(), master_seed=1)
+            lighter = run_simulation(make_scheduler(policy), light_trace,
+                                     QCFactory.balanced(), master_seed=1)
+            assert lighter.total_percent >= heavy.total_percent - 0.02, \
+                policy
+
+
+class TestKernelSoak:
+    """Randomised process graphs: spawn/wait/interrupt chains must neither
+    deadlock nor lose events."""
+
+    @given(st.lists(st.tuples(st.floats(min_value=0.1, max_value=20.0),
+                              st.booleans()),
+                    min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None)
+    def test_random_spawn_trees(self, plan):
+        env = Environment()
+        finished = []
+
+        def worker(env, delay, spawn_child, depth=0):
+            if spawn_child and depth < 3:
+                child = env.process(worker(env, delay / 2, False,
+                                           depth + 1))
+                yield child
+            yield env.timeout(delay)
+            finished.append(env.now)
+
+        for delay, spawn_child in plan:
+            env.process(worker(env, delay, spawn_child))
+        env.run()
+        expected = sum(2 if spawn and True else 1
+                       for __, spawn in plan)
+        assert len(finished) == expected
+
+    @given(st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_interrupt_storms(self, n_victims):
+        env = Environment()
+        survived = []
+
+        def victim(env):
+            for __ in range(3):
+                try:
+                    yield env.timeout(100.0)
+                except Interrupt:
+                    pass
+            survived.append(True)
+
+        def attacker(env, targets):
+            while any(t.is_alive for t in targets):
+                yield env.timeout(7.0)
+                for target in targets:
+                    if target.is_alive:
+                        target.interrupt("storm")
+
+        targets = [env.process(victim(env)) for __ in range(n_victims)]
+        env.process(attacker(env, targets))
+        env.run(until=10_000.0)
+        # Every victim eventually absorbs 3 interrupts/timeouts and exits.
+        assert len(survived) == n_victims

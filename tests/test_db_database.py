@@ -1,0 +1,142 @@
+"""Unit tests for the Database: register table, invalidation, staleness."""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.transactions import Query, TxnStatus, Update
+from repro.qc.contracts import QualityContract
+
+
+def make_update(item="IBM", at=0.0, value=1.0):
+    return Update(arrival_time=at, exec_time=2.0, item=item, value=value)
+
+
+def make_query(items=("IBM",), at=0.0):
+    return Query(arrival_time=at, exec_time=7.0, items=items,
+                 qc=QualityContract.free())
+
+
+class TestItemAccess:
+    def test_items_created_on_demand(self):
+        db = Database()
+        assert "IBM" not in db
+        item = db.item("IBM")
+        assert "IBM" in db
+        assert db.item("IBM") is item
+        assert len(db) == 1
+
+    def test_prepopulated_keys(self):
+        db = Database(keys=["A", "B"])
+        assert len(db) == 2
+        assert "A" in db and "B" in db
+
+    def test_read_returns_replica_value(self):
+        db = Database()
+        update = make_update(value=42.0)
+        db.register_update(update, now=1.0)
+        assert db.read("IBM") == 0.0  # not applied yet
+        db.apply_update(update, now=2.0)
+        assert db.read("IBM") == 42.0
+
+    def test_invalid_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            Database(staleness_aggregation="median")  # type: ignore
+
+
+class TestRegisterTable:
+    def test_first_update_registers_without_invalidation(self):
+        db = Database()
+        update = make_update()
+        assert db.register_update(update, now=1.0) is None
+        assert db.pending_update("IBM") is update
+        assert update.seq == 1
+
+    def test_newer_update_invalidates_pending(self):
+        db = Database()
+        old = make_update(at=1.0, value=1.0)
+        new = make_update(at=2.0, value=2.0)
+        db.register_update(old, now=1.0)
+        superseded = db.register_update(new, now=2.0)
+        assert superseded is old
+        assert old.status is TxnStatus.DROPPED_SUPERSEDED
+        assert old.finish_time == 2.0
+        assert db.pending_update("IBM") is new
+
+    def test_invalidation_is_per_item(self):
+        db = Database()
+        a = make_update(item="A")
+        b = make_update(item="B")
+        db.register_update(a, now=1.0)
+        assert db.register_update(b, now=2.0) is None
+        assert db.pending_count() == 2
+
+    def test_apply_clears_register(self):
+        db = Database()
+        update = make_update()
+        db.register_update(update, now=1.0)
+        db.apply_update(update, now=2.0)
+        assert db.pending_update("IBM") is None
+        assert db.pending_count() == 0
+
+    def test_apply_of_superseded_does_not_clear_newer_pending(self):
+        db = Database()
+        old = make_update(at=1.0, value=1.0)
+        new = make_update(at=2.0, value=2.0)
+        db.register_update(old, now=1.0)
+        db.register_update(new, now=2.0)
+        # A race: the old update was mid-execution when superseded and its
+        # commit slips through — the register must still point at `new`.
+        db.apply_update(old, now=3.0)
+        assert db.pending_update("IBM") is new
+        assert db.item("IBM").unapplied_updates == 1
+
+    def test_sequence_numbers_increase_per_item(self):
+        db = Database()
+        u1, u2 = make_update(), make_update()
+        other = make_update(item="MSFT")
+        db.register_update(u1, now=1.0)
+        db.register_update(u2, now=2.0)
+        db.register_update(other, now=3.0)
+        assert (u1.seq, u2.seq) == (1, 2)
+        assert other.seq == 1
+
+
+class TestQueryStaleness:
+    def test_fresh_items_zero(self):
+        db = Database()
+        assert db.query_staleness(make_query(("A", "B"))) == 0.0
+
+    def test_max_aggregation_default(self):
+        db = Database()
+        for __ in range(3):
+            db.register_update(make_update(item="A"), now=1.0)
+        db.register_update(make_update(item="B"), now=1.0)
+        query = make_query(("A", "B"))
+        assert db.query_staleness(query) == 3.0
+
+    def test_mean_aggregation(self):
+        db = Database(staleness_aggregation="mean")
+        for __ in range(3):
+            db.register_update(make_update(item="A"), now=1.0)
+        db.register_update(make_update(item="B"), now=1.0)
+        assert db.query_staleness(make_query(("A", "B"))) == pytest.approx(2.0)
+
+    def test_sum_aggregation(self):
+        db = Database(staleness_aggregation="sum")
+        for __ in range(3):
+            db.register_update(make_update(item="A"), now=1.0)
+        db.register_update(make_update(item="B"), now=1.0)
+        assert db.query_staleness(make_query(("A", "B"))) == 4.0
+
+    def test_time_differential_aggregate(self):
+        db = Database()
+        db.register_update(make_update(item="A"), now=10.0)
+        db.register_update(make_update(item="B"), now=30.0)
+        query = make_query(("A", "B"))
+        assert db.query_time_differential(query, now=40.0) == 30.0
+
+    def test_value_distance_aggregate(self):
+        db = Database()
+        db.register_update(make_update(item="A", value=7.0), now=1.0)
+        query = make_query(("A",))
+        assert db.query_value_distance(query) == pytest.approx(7.0)

@@ -1,0 +1,125 @@
+"""Unit + property tests for DataItem staleness accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.items import DataItem
+
+
+class TestFreshness:
+    def test_new_item_is_fresh(self):
+        item = DataItem("IBM", value=100.0)
+        assert item.is_fresh
+        assert item.unapplied_updates == 0
+        assert item.time_differential(now=50.0) == 0.0
+        assert item.value_distance == 0.0
+
+    def test_arrival_makes_stale(self):
+        item = DataItem("IBM", value=100.0)
+        seq = item.record_arrival(now=10.0, value=101.0)
+        assert seq == 1
+        assert not item.is_fresh
+        assert item.unapplied_updates == 1
+        assert item.master_value == 101.0
+        assert item.value == 100.0  # replica unchanged until applied
+
+    def test_apply_restores_freshness(self):
+        item = DataItem("IBM")
+        seq = item.record_arrival(now=10.0, value=5.0)
+        item.apply(seq, 5.0, now=20.0)
+        assert item.is_fresh
+        assert item.unapplied_updates == 0
+        assert item.value == 5.0
+        assert item.last_applied_time == 20.0
+
+    def test_uu_counts_all_unapplied_arrivals(self):
+        item = DataItem("IBM")
+        for k in range(5):
+            item.record_arrival(now=float(k), value=float(k))
+        assert item.unapplied_updates == 5
+
+    def test_applying_latest_clears_all(self):
+        """Blind updates: applying the newest clears the whole backlog."""
+        item = DataItem("IBM")
+        last_seq = 0
+        for k in range(5):
+            last_seq = item.record_arrival(now=float(k), value=float(k))
+        item.apply(last_seq, 4.0, now=10.0)
+        assert item.unapplied_updates == 0
+        assert item.is_fresh
+
+    def test_applying_stale_seq_is_ignored(self):
+        item = DataItem("IBM")
+        seq1 = item.record_arrival(now=1.0, value=1.0)
+        seq2 = item.record_arrival(now=2.0, value=2.0)
+        item.apply(seq2, 2.0, now=3.0)
+        item.apply(seq1, 1.0, now=4.0)  # late, superseded apply
+        assert item.value == 2.0
+        assert item.applied_seq == seq2
+
+
+class TestTimeDifferential:
+    def test_td_measures_since_first_unapplied(self):
+        item = DataItem("IBM")
+        item.record_arrival(now=10.0, value=1.0)
+        item.record_arrival(now=20.0, value=2.0)
+        assert item.time_differential(now=30.0) == pytest.approx(20.0)
+
+    def test_td_resets_when_fresh(self):
+        item = DataItem("IBM")
+        seq = item.record_arrival(now=10.0, value=1.0)
+        item.apply(seq, 1.0, now=15.0)
+        assert item.time_differential(now=100.0) == 0.0
+
+    def test_td_partial_apply_keeps_staleness_clock(self):
+        """Applying an older (superseded) update does not refresh td."""
+        item = DataItem("IBM")
+        seq1 = item.record_arrival(now=10.0, value=1.0)
+        item.record_arrival(now=20.0, value=2.0)
+        item.apply(seq1, 1.0, now=25.0)
+        assert item.unapplied_updates == 1
+        assert item.time_differential(now=30.0) == pytest.approx(20.0)
+
+
+class TestValueDistance:
+    def test_vd_tracks_master_gap(self):
+        item = DataItem("IBM", value=100.0)
+        item.record_arrival(now=1.0, value=110.0)
+        assert item.value_distance == pytest.approx(10.0)
+        item.record_arrival(now=2.0, value=95.0)
+        assert item.value_distance == pytest.approx(5.0)
+
+
+class TestStatistics:
+    def test_counters(self):
+        item = DataItem("IBM")
+        seq = item.record_arrival(now=1.0, value=1.0)
+        item.record_superseded()
+        item.apply(seq, 1.0, now=2.0)
+        assert item.updates_arrived == 1
+        assert item.updates_superseded == 1
+        assert item.updates_applied == 1
+
+
+class TestInvariants:
+    @given(st.lists(st.sampled_from(["arrive", "apply"]),
+                    min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_uu_never_negative_and_apply_monotone(self, script):
+        """Under any arrive/apply interleaving, #uu >= 0 and applied_seq
+        never decreases."""
+        item = DataItem("X")
+        pending_seq = None
+        now = 0.0
+        last_applied = 0
+        for action in script:
+            now += 1.0
+            if action == "arrive":
+                pending_seq = item.record_arrival(now, value=now)
+            elif pending_seq is not None:
+                item.apply(pending_seq, now, now)
+            assert item.unapplied_updates >= 0
+            assert item.applied_seq >= last_applied
+            last_applied = item.applied_seq
+            assert item.applied_seq <= item.latest_seq

@@ -1,0 +1,157 @@
+"""Unit tests for the 2PL-HP lock manager."""
+
+import pytest
+
+from repro.db.locks import AcquireOutcome, LockManager, LockMode
+from repro.db.transactions import Query, Update
+from repro.qc.contracts import QualityContract
+
+
+def query(items=("A",), at=0.0):
+    return Query(arrival_time=at, exec_time=7.0, items=items,
+                 qc=QualityContract.free())
+
+
+def update(item="A", at=0.0):
+    return Update(arrival_time=at, exec_time=2.0, item=item)
+
+
+class TestGrants:
+    def test_uncontended_read_grant(self):
+        locks = LockManager()
+        q = query(("A", "B"))
+        result = locks.acquire_all(q, LockMode.READ)
+        assert result.granted
+        assert locks.locks_of(q) == {"A", "B"}
+        assert locks.mode_of("A") is LockMode.READ
+
+    def test_uncontended_write_grant(self):
+        locks = LockManager()
+        u = update("A")
+        assert locks.acquire_all(u, LockMode.WRITE).granted
+        assert locks.mode_of("A") is LockMode.WRITE
+
+    def test_shared_reads_compatible(self):
+        locks = LockManager()
+        q1, q2 = query(("A",)), query(("A",))
+        assert locks.acquire_all(q1, LockMode.READ).granted
+        result = locks.acquire_all(q2, LockMode.READ).granted
+        assert result
+        assert locks.holders_of("A") == {q1, q2}
+        assert locks.conflicts == 0
+
+    def test_reacquire_own_locks_idempotent(self):
+        """A resumed transaction re-acquires what it already holds."""
+        locks = LockManager()
+        q = query(("A", "B"))
+        locks.acquire_all(q, LockMode.READ)
+        result = locks.acquire_all(q, LockMode.READ)
+        assert result.granted
+        assert result.restarted == ()
+        assert locks.locks_of(q) == {"A", "B"}
+
+
+class TestConflictResolution:
+    def test_high_priority_requester_restarts_holder(self):
+        locks = LockManager(has_priority=lambda r, h: True)
+        q = query(("A",))
+        u = update("A")
+        locks.acquire_all(q, LockMode.READ)
+        result = locks.acquire_all(u, LockMode.WRITE)
+        assert result.granted
+        assert result.restarted == (q,)
+        assert locks.locks_of(q) == frozenset()
+        assert locks.holders_of("A") == {u}
+        assert locks.restarts_caused == 1
+
+    def test_low_priority_requester_blocks(self):
+        locks = LockManager(has_priority=lambda r, h: False)
+        q = query(("A",))
+        u = update("A")
+        locks.acquire_all(q, LockMode.READ)
+        result = locks.acquire_all(u, LockMode.WRITE)
+        assert result.outcome is AcquireOutcome.BLOCKED
+        assert result.blocking_holders == (q,)
+        # Nothing acquired for the blocked requester.
+        assert locks.locks_of(u) == frozenset()
+        assert locks.holders_of("A") == {q}
+        assert locks.blocks_caused == 1
+
+    def test_write_blocks_read_when_holder_outranks(self):
+        locks = LockManager(has_priority=lambda r, h: False)
+        u = update("A")
+        q = query(("A",))
+        locks.acquire_all(u, LockMode.WRITE)
+        result = locks.acquire_all(q, LockMode.READ)
+        assert not result.granted
+
+    def test_multiple_holders_all_restarted(self):
+        locks = LockManager()
+        q1, q2 = query(("A",)), query(("A",))
+        locks.acquire_all(q1, LockMode.READ)
+        locks.acquire_all(q2, LockMode.READ)
+        result = locks.acquire_all(update("A"), LockMode.WRITE)
+        assert result.granted
+        assert set(result.restarted) == {q1, q2}
+
+    def test_mixed_blockers_and_losers_block_wins(self):
+        """If any conflicting holder outranks the requester, nothing is
+        restarted and the requester blocks."""
+        q1, q2 = query(("A",)), query(("A",))
+        # q1 outranks everything, q2 outranks nothing.
+        locks = LockManager(
+            has_priority=lambda r, h: h is q2)
+        locks.acquire_all(q1, LockMode.READ)
+        locks.acquire_all(q2, LockMode.READ)
+        result = locks.acquire_all(update("A"), LockMode.WRITE)
+        assert not result.granted
+        assert q1 in result.blocking_holders
+        # The weaker holder must NOT have been restarted.
+        assert locks.holders_of("A") == {q1, q2}
+
+    def test_conflict_counter_increments(self):
+        locks = LockManager()
+        locks.acquire_all(query(("A",)), LockMode.READ)
+        locks.acquire_all(update("A"), LockMode.WRITE)
+        assert locks.conflicts == 1
+
+
+class TestRelease:
+    def test_release_all_frees_keys(self):
+        locks = LockManager()
+        q = query(("A", "B"))
+        locks.acquire_all(q, LockMode.READ)
+        freed = locks.release_all(q)
+        assert freed == {"A", "B"}
+        assert locks.holders_of("A") == frozenset()
+        assert locks.mode_of("A") is None
+
+    def test_release_unknown_txn_is_noop(self):
+        locks = LockManager()
+        assert locks.release_all(query()) == frozenset()
+
+    def test_release_one_shared_reader_keeps_entry(self):
+        locks = LockManager()
+        q1, q2 = query(("A",)), query(("A",))
+        locks.acquire_all(q1, LockMode.READ)
+        locks.acquire_all(q2, LockMode.READ)
+        locks.release_all(q1)
+        assert locks.holders_of("A") == {q2}
+
+    def test_grant_after_release(self):
+        locks = LockManager(has_priority=lambda r, h: False)
+        q = query(("A",))
+        u = update("A")
+        locks.acquire_all(q, LockMode.READ)
+        assert not locks.acquire_all(u, LockMode.WRITE).granted
+        locks.release_all(q)
+        assert locks.acquire_all(u, LockMode.WRITE).granted
+
+
+class TestPriorityPredicateSwap:
+    def test_set_priority_predicate(self):
+        locks = LockManager(has_priority=lambda r, h: False)
+        locks.acquire_all(query(("A",)), LockMode.READ)
+        assert not locks.acquire_all(update("A"), LockMode.WRITE).granted
+        locks.set_priority_predicate(lambda r, h: True)
+        assert locks.acquire_all(update("A"), LockMode.WRITE).granted

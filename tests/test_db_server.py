@@ -1,0 +1,299 @@
+"""Integration tests for the preemptive database server.
+
+These exercise the server directly with hand-placed arrivals (no trace
+generator), so every timing assertion is exact.
+"""
+
+import pytest
+
+from repro.db.database import Database
+from repro.db.server import DatabaseServer, ServerConfig
+from repro.db.transactions import Query, TxnStatus, Update
+from repro.metrics.profit import ProfitLedger
+from repro.qc.contracts import QualityContract
+from repro.scheduling import FIFOScheduler, make_qh, make_uh
+from repro.scheduling.quts import QUTSScheduler
+from repro.sim import Environment
+from repro.sim.rng import StreamRegistry
+
+
+def build_server(scheduler, overhead=0.0):
+    env = Environment()
+    ledger = ProfitLedger()
+    server = DatabaseServer(env, Database(), scheduler, ledger,
+                            StreamRegistry(0),
+                            config=ServerConfig(
+                                class_switch_overhead=overhead))
+    return env, server, ledger
+
+
+def step_qc(qosmax=10.0, rtmax=50.0, qodmax=10.0, uumax=1.0, lifetime=1e6):
+    return QualityContract.step(qosmax, rtmax, qodmax, uumax,
+                                lifetime=lifetime)
+
+
+def at(env, time, fn, *args):
+    """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+    def proc(env):
+        if time > env.now:
+            yield env.timeout(time - env.now)
+        fn(*args)
+        return None
+        yield  # pragma: no cover
+
+    env.process(proc(env))
+
+
+class TestBasicExecution:
+    def test_single_query_commits(self):
+        env, server, ledger = build_server(FIFOScheduler())
+        query = Query(0.0, 7.0, ("A",), step_qc())
+        at(env, 0.0, server.submit_query, query)
+        env.run(until=100.0)
+        assert query.status is TxnStatus.COMMITTED
+        assert query.finish_time == pytest.approx(7.0)
+        assert query.qos_profit == 10.0   # rt 7 <= 50
+        assert query.qod_profit == 10.0   # staleness 0 < 1
+        assert ledger.counters.value("queries_committed") == 1
+
+    def test_single_update_applies(self):
+        env, server, ledger = build_server(FIFOScheduler())
+        update = Update(0.0, 2.0, "A", value=5.0)
+        at(env, 0.0, server.submit_update, update)
+        env.run(until=100.0)
+        assert update.status is TxnStatus.COMMITTED
+        assert server.database.read("A") == 5.0
+        assert ledger.counters.value("updates_applied") == 1
+
+    def test_fifo_runs_in_arrival_order(self):
+        env, server, __ = build_server(FIFOScheduler())
+        first = Update(0.0, 2.0, "A")
+        second = Update(1.0, 2.0, "B")
+        at(env, 0.0, server.submit_update, first)
+        at(env, 1.0, server.submit_update, second)
+        env.run(until=100.0)
+        assert first.finish_time < second.finish_time
+
+    def test_query_sees_staleness_of_pending_update(self):
+        env, server, __ = build_server(make_uh())
+        # Update and query arrive together; UH applies the update first,
+        # so the query reads fresh data.
+        update = Update(0.0, 2.0, "A", value=5.0)
+        query = Query(0.0, 7.0, ("A",), step_qc())
+        at(env, 0.0, server.submit_update, update)
+        at(env, 0.0, server.submit_query, query)
+        env.run(until=100.0)
+        assert query.staleness == 0.0
+        assert query.qod_profit == 10.0
+
+    def test_qh_query_reads_stale(self):
+        env, server, __ = build_server(make_qh())
+        update = Update(0.0, 2.0, "A", value=5.0)
+        query = Query(0.0, 7.0, ("A",), step_qc())
+        at(env, 0.0, server.submit_update, update)
+        at(env, 0.0, server.submit_query, query)
+        env.run(until=100.0)
+        # QH runs the query first: one unapplied update => no QoD profit
+        # (uumax = 1 is exclusive).
+        assert query.staleness == 1.0
+        assert query.qod_profit == 0.0
+        assert query.qos_profit == 10.0
+
+
+class TestPreemption:
+    def test_uh_update_preempts_running_query(self):
+        env, server, __ = build_server(make_uh())
+        query = Query(0.0, 7.0, ("A",), step_qc())
+        update = Update(3.0, 2.0, "B")
+        at(env, 0.0, server.submit_query, query)
+        at(env, 3.0, server.submit_update, update)
+        env.run(until=100.0)
+        # Update runs 3..5, query resumes and finishes at 9.
+        assert update.finish_time == pytest.approx(5.0)
+        assert query.finish_time == pytest.approx(9.0)
+        assert query.preemptions == 1
+        assert query.restarts == 0  # no lock conflict (different items)
+
+    def test_uh_conflicting_update_restarts_query(self):
+        env, server, ledger = build_server(make_uh())
+        query = Query(0.0, 7.0, ("A",), step_qc())
+        update = Update(3.0, 2.0, "A")  # same item -> RW conflict
+        at(env, 0.0, server.submit_query, query)
+        at(env, 3.0, server.submit_update, update)
+        env.run(until=100.0)
+        assert update.finish_time == pytest.approx(5.0)
+        # Query lost its 3 ms of progress and redid the full 7 ms.
+        assert query.restarts == 1
+        assert query.finish_time == pytest.approx(12.0)
+        assert ledger.counters.value("restarts_queries") == 1
+
+    def test_qh_query_preempts_and_restarts_running_update(self):
+        env, server, ledger = build_server(make_qh())
+        update = Update(0.0, 4.0, "A")
+        query = Query(1.0, 7.0, ("B",), step_qc())
+        at(env, 0.0, server.submit_update, update)
+        at(env, 1.0, server.submit_query, query)
+        env.run(until=100.0)
+        assert query.finish_time == pytest.approx(8.0)
+        # Cross-class preemption aborts the blind write: its 1 ms of
+        # progress is lost and the full 4 ms are redone after the query.
+        assert update.finish_time == pytest.approx(12.0)
+        assert update.preemptions == 1
+        assert update.restarts == 1
+        assert ledger.counters.value("restarts_updates") == 1
+
+    def test_qh_preemption_can_suspend_updates_when_configured(self):
+        env = Environment()
+        ledger = ProfitLedger()
+        server = DatabaseServer(
+            env, Database(), make_qh(), ledger, StreamRegistry(0),
+            config=ServerConfig(class_switch_overhead=0.0,
+                                update_preemption="suspend"))
+        update = Update(0.0, 4.0, "A")
+        query = Query(1.0, 7.0, ("B",), step_qc())
+        at(env, 0.0, server.submit_update, update)
+        at(env, 1.0, server.submit_query, query)
+        env.run(until=100.0)
+        # Suspend semantics: the update keeps its 1 ms of progress.
+        assert update.finish_time == pytest.approx(11.0)
+        assert update.restarts == 0
+
+    def test_invalid_update_preemption_config(self):
+        with pytest.raises(ValueError):
+            ServerConfig(update_preemption="drop")
+
+    def test_fifo_never_preempts(self):
+        env, server, __ = build_server(FIFOScheduler())
+        update = Update(0.0, 4.0, "A")
+        query = Query(1.0, 7.0, ("A",), step_qc())
+        at(env, 0.0, server.submit_update, update)
+        at(env, 1.0, server.submit_query, query)
+        env.run(until=100.0)
+        assert update.finish_time == pytest.approx(4.0)
+        assert update.preemptions == 0
+        assert query.finish_time == pytest.approx(11.0)
+
+
+class TestInvalidation:
+    def test_newer_update_supersedes_queued(self):
+        env, server, ledger = build_server(make_qh())
+        # A long query keeps the CPU busy; two updates on the same item
+        # queue up behind it.
+        query = Query(0.0, 7.0, ("B",), step_qc())
+        old = Update(1.0, 2.0, "A", value=1.0)
+        new = Update(2.0, 2.0, "A", value=2.0)
+        at(env, 0.0, server.submit_query, query)
+        at(env, 1.0, server.submit_update, old)
+        at(env, 2.0, server.submit_update, new)
+        env.run(until=100.0)
+        assert old.status is TxnStatus.DROPPED_SUPERSEDED
+        assert new.status is TxnStatus.COMMITTED
+        assert server.database.read("A") == 2.0
+        assert ledger.counters.value("updates_superseded") == 1
+        assert ledger.counters.value("updates_applied") == 1
+
+    def test_running_update_aborted_when_superseded(self):
+        env, server, ledger = build_server(FIFOScheduler())
+        old = Update(0.0, 4.0, "A", value=1.0)
+        new = Update(1.0, 2.0, "A", value=2.0)  # arrives mid-execution
+        at(env, 0.0, server.submit_update, old)
+        at(env, 1.0, server.submit_update, new)
+        env.run(until=100.0)
+        assert old.status is TxnStatus.DROPPED_SUPERSEDED
+        assert new.status is TxnStatus.COMMITTED
+        # The CPU was freed at t=1: new runs 1..3.
+        assert new.finish_time == pytest.approx(3.0)
+        assert server.database.read("A") == 2.0
+        assert server.database.item("A").unapplied_updates == 0
+
+
+class TestLifetime:
+    def test_late_query_dropped(self):
+        env, server, ledger = build_server(make_uh())
+        # Keep the CPU busy with updates past the query's lifetime.
+        query = Query(0.0, 7.0, ("A",),
+                      step_qc(lifetime=10.0))
+        at(env, 0.0, server.submit_query, query)
+        for k in range(10):
+            at(env, float(k), server.submit_update,
+               Update(float(k), 2.0, f"U{k}"))
+        env.run(until=100.0)
+        assert query.status is TxnStatus.DROPPED_LIFETIME
+        assert query.total_profit == 0.0
+        assert ledger.counters.value("queries_dropped_lifetime") == 1
+
+    def test_query_within_lifetime_commits(self):
+        env, server, __ = build_server(make_uh())
+        query = Query(0.0, 7.0, ("A",), step_qc(lifetime=1000.0))
+        at(env, 0.0, server.submit_query, query)
+        at(env, 0.0, server.submit_update, Update(0.0, 2.0, "B"))
+        env.run(until=2000.0)
+        assert query.status is TxnStatus.COMMITTED
+
+
+class TestSwitchOverhead:
+    def test_overhead_delays_class_switch(self):
+        env, server, __ = build_server(FIFOScheduler(), overhead=0.5)
+        update = Update(0.0, 2.0, "A")
+        query = Query(0.0, 7.0, ("B",), step_qc())
+        at(env, 0.0, server.submit_update, update)
+        at(env, 0.0, server.submit_query, query)
+        env.run(until=100.0)
+        # update: 0..2, switch 0.5, query: 2.5..9.5
+        assert update.finish_time == pytest.approx(2.0)
+        assert query.finish_time == pytest.approx(9.5)
+
+    def test_no_overhead_within_class(self):
+        env, server, __ = build_server(FIFOScheduler(), overhead=0.5)
+        u1 = Update(0.0, 2.0, "A")
+        u2 = Update(0.0, 2.0, "B")
+        at(env, 0.0, server.submit_update, u1)
+        at(env, 0.0, server.submit_update, u2)
+        env.run(until=100.0)
+        assert u2.finish_time == pytest.approx(4.0)
+
+
+class TestFinalize:
+    def test_unfinished_work_accounted(self):
+        env, server, ledger = build_server(FIFOScheduler())
+        at(env, 0.0, server.submit_query,
+           Query(0.0, 7.0, ("A",), step_qc()))
+        at(env, 0.0, server.submit_query,
+           Query(0.0, 7.0, ("B",), step_qc()))
+        at(env, 0.0, server.submit_update, Update(0.0, 2.0, "C"))
+        env.run(until=8.0)  # only the first query finishes
+        server.finalize()
+        counters = ledger.counters
+        assert counters.value("queries_committed") == 1
+        assert counters.value("queries_unfinished") == 1
+        assert counters.value("updates_unfinished") == 1
+
+
+class TestQUTSServerIntegration:
+    def test_quts_alternates_under_pressure(self):
+        """With fixed rho = 0.5 and both queues saturated, both classes
+        make progress within a few atom times."""
+        scheduler = QUTSScheduler(tau=5.0, fixed_rho=0.5)
+        env, server, ledger = build_server(scheduler)
+        for k in range(8):
+            at(env, 0.0, server.submit_query,
+               Query(0.0, 5.0, (f"Q{k}",), step_qc()))
+            at(env, 0.0, server.submit_update,
+               Update(0.0, 5.0, f"U{k}"))
+        env.run(until=45.0)
+        committed_q = ledger.counters.value("queries_committed")
+        applied_u = ledger.counters.value("updates_applied")
+        assert committed_q >= 2
+        assert applied_u >= 2
+
+    def test_quts_rho_one_still_serves_updates_when_idle(self):
+        """The paper: 'With rho = 1, updates are still executing, but only
+        when no queries are waiting.'"""
+        scheduler = QUTSScheduler(tau=5.0, fixed_rho=1.0)
+        env, server, ledger = build_server(scheduler)
+        at(env, 0.0, server.submit_query,
+           Query(0.0, 5.0, ("A",), step_qc()))
+        at(env, 0.0, server.submit_update, Update(0.0, 2.0, "B"))
+        env.run(until=50.0)
+        assert ledger.counters.value("queries_committed") == 1
+        assert ledger.counters.value("updates_applied") == 1

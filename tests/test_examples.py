@@ -1,0 +1,51 @@
+"""Every example script must run end-to-end (they double as API tests).
+
+The examples are executed in-process via their ``main()`` so failures
+produce real tracebacks; each takes a few seconds of simulated workload.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_discovered():
+    assert set(EXAMPLES) >= {"quickstart", "stock_portal",
+                             "preference_shift", "custom_contracts",
+                             "trace_tools"}
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} printed nothing"
+
+
+def test_quickstart_reports_profit(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "profit gained" in out
+    assert "mean response time" in out
+
+
+def test_preference_shift_shows_rho_phases(capsys):
+    load_example("preference_shift").main()
+    out = capsys.readouterr().out
+    assert "QoD-heavy (1:5)" in out
+    assert "QoS-heavy (5:1)" in out

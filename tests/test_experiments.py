@@ -1,0 +1,220 @@
+"""Tests for the experiment harness (config, runner, figure drivers).
+
+Figure drivers run against a tiny 20-second trace so the whole module
+stays fast; shape assertions live in the integration tests and benches.
+"""
+
+import pytest
+
+from repro.experiments.config import (ExperimentConfig, SCALES,
+                                      chosen_scale, table4_grid,
+                                      table4_rows)
+from repro.experiments.figures import fig1, fig6, fig7, fig8, fig9, fig10
+from repro.experiments.report import format_series, format_table
+from repro.experiments.runner import free_qc_source, run_simulation
+from repro.experiments.tables import table3, table4
+from repro.qc.generator import QCFactory
+from repro.scheduling import QUTSScheduler, make_scheduler
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return StockWorkloadGenerator(WorkloadSpec().scaled(20_000.0),
+                                  master_seed=11).generate()
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(scale="smoke", workload_seed=11)
+
+
+class TestConfig:
+    def test_scales_known(self):
+        assert set(SCALES) == {"smoke", "standard", "full"}
+
+    def test_chosen_scale_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert chosen_scale("smoke") == "smoke"
+
+    def test_chosen_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert chosen_scale() == "smoke"
+
+    def test_chosen_scale_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert chosen_scale() == "standard"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            chosen_scale("galactic")
+
+    def test_trace_is_deterministic(self):
+        config = ExperimentConfig(scale="smoke", workload_seed=5)
+        a, b = config.trace(), config.trace()
+        assert a.queries == b.queries
+
+
+class TestTable4:
+    def test_grid_has_nine_points(self):
+        grid = table4_grid()
+        assert len(grid) == 9
+        assert [p for p, __ in grid] == [round(0.1 * k, 1)
+                                         for k in range(1, 10)]
+
+    def test_rows_render(self):
+        rows = table4_rows()
+        assert rows[0]["qodmax"] == "$10 ~ $19"
+        assert rows[0]["qosmax"] == "$90 ~ $99"
+        assert rows[-1]["qodmax"] == "$90 ~ $99"
+        assert table4() == rows
+
+
+class TestRunner:
+    def test_free_source_runs_without_contracts(self, tiny_trace):
+        result = run_simulation(make_scheduler("FIFO"), tiny_trace)
+        assert result.ledger.total_max == 0.0
+        assert result.counters["queries_submitted"] > 0
+
+    def test_conservation_of_queries(self, tiny_trace):
+        result = run_simulation(make_scheduler("QH"), tiny_trace,
+                                QCFactory.balanced(), master_seed=2)
+        c = result.counters
+        accounted = (c.get("queries_committed", 0)
+                     + c.get("queries_dropped_lifetime", 0)
+                     + c.get("queries_unfinished", 0))
+        assert accounted == c["queries_submitted"]
+        assert c["queries_submitted"] == len(tiny_trace.queries)
+
+    def test_conservation_of_updates(self, tiny_trace):
+        result = run_simulation(make_scheduler("QUTS"), tiny_trace,
+                                QCFactory.balanced(), master_seed=2)
+        c = result.counters
+        accounted = (c.get("updates_applied", 0)
+                     + c.get("updates_superseded", 0)
+                     + c.get("updates_unfinished", 0))
+        assert accounted == len(tiny_trace.updates)
+
+    def test_same_seed_reproducible(self, tiny_trace):
+        a = run_simulation(make_scheduler("QUTS"), tiny_trace,
+                           QCFactory.balanced(), master_seed=3)
+        b = run_simulation(make_scheduler("QUTS"), tiny_trace,
+                           QCFactory.balanced(), master_seed=3)
+        assert a.ledger.total_gained == b.ledger.total_gained
+        assert a.counters == b.counters
+
+    def test_metadata_recorded(self, tiny_trace):
+        result = run_simulation(make_scheduler("FIFO"), tiny_trace,
+                                master_seed=9, drain_ms=1_000.0)
+        assert result.metadata["master_seed"] == 9
+        assert result.metadata["drain_ms"] == 1_000.0
+        assert result.duration == tiny_trace.duration_ms + 1_000.0
+
+    def test_rho_series_only_for_quts(self, tiny_trace):
+        quts = run_simulation(QUTSScheduler(), tiny_trace,
+                              QCFactory.balanced())
+        fifo = run_simulation(make_scheduler("FIFO"), tiny_trace,
+                              QCFactory.balanced())
+        assert quts.rho_series is not None
+        assert fifo.rho_series is None
+
+
+class TestFigureDrivers:
+    def test_fig1_rows(self, tiny_config, tiny_trace):
+        rows = fig1(tiny_config, trace=tiny_trace)
+        assert [r["policy"] for r in rows] == ["FIFO", "FIFO-UH", "FIFO-QH"]
+        for row in rows:
+            assert row["response_time_ms"] > 0
+            assert row["staleness_uu"] >= 0
+
+    def test_fig6_shapes(self, tiny_config, tiny_trace):
+        data = fig6(tiny_config, trace=tiny_trace)
+        assert set(data) == {"step", "linear"}
+        for rows in data.values():
+            assert [r["policy"] for r in rows] == [
+                "FIFO", "UH", "QH", "QUTS"]
+            for row in rows:
+                assert 0.0 <= row["total%"] <= 1.0
+
+    def test_fig9_phase_rho(self, tiny_config, tiny_trace):
+        data = fig9(tiny_config, trace=tiny_trace)
+        assert data["phase_rho"]
+        assert data["rho_series"] is not None
+        assert len(data["gained_total"]) > 0
+
+    def test_fig7_spectrum_structure(self, tiny_config, tiny_trace):
+        rows = fig7(tiny_config, trace=tiny_trace)
+        assert [row["QODmax%"] for row in rows] == [
+            round(0.1 * k, 1) for k in range(1, 10)]
+        # QOSmax% falls as QODmax% rises (Table 4 construction).
+        shares = [row["QOSmax%"] for row in rows]
+        assert all(a > b for a, b in zip(shares, shares[1:]))
+
+    def test_fig8_improvements_present(self, tiny_config, tiny_trace):
+        data = fig8(tiny_config, trace=tiny_trace)
+        assert set(data) == {"UH", "QH", "QUTS", "improvements"}
+        assert len(data["improvements"]) == 9
+        for row in data["improvements"]:
+            assert "QUTS_vs_UH_%" in row and "QUTS_vs_QH_%" in row
+
+    def test_fig8_policy_subset(self, tiny_config, tiny_trace):
+        data = fig8(tiny_config, trace=tiny_trace, policies=("QH",))
+        assert set(data) == {"QH"}  # no improvements without all three
+
+    def test_fig10_sweep_structure(self, tiny_config, tiny_trace):
+        data = fig10(tiny_config, trace=tiny_trace,
+                     omegas=(500.0, 5_000.0), taus=(5.0, 50.0))
+        assert [row["omega_ms"] for row in data["omega"]] == [500.0,
+                                                              5_000.0]
+        assert [row["tau_ms"] for row in data["tau"]] == [5.0, 50.0]
+        for row in data["omega"] + data["tau"]:
+            assert 0.0 <= row["total%"] <= 1.0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(empty)" in format_table([], title="T")
+
+    def test_format_table_column_subset(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_format_series_renders(self):
+        text = format_series([0.0, 1.0, 2.0, 3.0], [0.0, 1.0, 0.5, 1.5],
+                             title="S", width=10, height=4)
+        assert text.splitlines()[0] == "S"
+        assert "*" in text
+
+    def test_format_series_empty(self):
+        assert "(empty series)" in format_series([], [], title="S")
+
+    def test_save_csv_roundtrip(self, tmp_path):
+        import csv
+
+        from repro.experiments.report import save_csv
+        rows = [{"a": 1.5, "b": "x"}, {"a": 2.5, "b": "y"}]
+        target = tmp_path / "out.csv"
+        save_csv(rows, target)
+        with open(target, newline="") as handle:
+            loaded = list(csv.DictReader(handle))
+        assert loaded == [{"a": "1.5", "b": "x"}, {"a": "2.5", "b": "y"}]
+
+    def test_save_csv_empty(self, tmp_path):
+        from repro.experiments.report import save_csv
+        target = tmp_path / "empty.csv"
+        save_csv([], target)
+        assert target.read_text() == ""
+
+    def test_save_csv_column_subset(self, tmp_path):
+        from repro.experiments.report import save_csv
+        target = tmp_path / "subset.csv"
+        save_csv([{"a": 1, "b": 2}], target, columns=["b"])
+        assert target.read_text().splitlines()[0] == "b"

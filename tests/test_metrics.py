@@ -1,0 +1,136 @@
+"""Unit tests for profit accounting and result aggregation."""
+
+import pytest
+
+from repro.db.transactions import Query, Update
+from repro.metrics.profit import ProfitLedger
+from repro.metrics.results import (SimulationResult, _merge_series,
+                                   improvement_percent)
+from repro.qc.contracts import QualityContract
+from repro.sim.monitor import TimeSeries
+
+
+def committed_query(qosmax=10.0, qodmax=10.0, rt=20.0, staleness=0.0):
+    query = Query(0.0, 7.0, ("A",),
+                  QualityContract.step(qosmax, 50.0, qodmax, 1.0))
+    query.finish_time = rt
+    query.staleness = staleness
+    qos, qod = query.qc.evaluate(rt, staleness)
+    query.qos_profit, query.qod_profit = qos, qod
+    return query
+
+
+class TestLedgerAccounting:
+    def test_submission_accumulates_maxima(self):
+        ledger = ProfitLedger()
+        ledger.on_query_submitted(committed_query(10.0, 30.0), now=0.0)
+        assert ledger.qos_max_submitted == 10.0
+        assert ledger.qod_max_submitted == 30.0
+        assert ledger.total_max == 40.0
+        assert ledger.qos_max_percent == pytest.approx(0.25)
+
+    def test_commit_accumulates_gains(self):
+        ledger = ProfitLedger()
+        query = committed_query(10.0, 30.0, rt=20.0, staleness=0.0)
+        ledger.on_query_submitted(query, now=0.0)
+        ledger.on_query_committed(query, now=20.0)
+        assert ledger.qos_gained == 10.0
+        assert ledger.qod_gained == 30.0
+        assert ledger.total_percent == pytest.approx(1.0)
+
+    def test_missed_deadline_earns_qod_only(self):
+        ledger = ProfitLedger()
+        query = committed_query(10.0, 30.0, rt=200.0, staleness=0.0)
+        ledger.on_query_submitted(query, now=0.0)
+        ledger.on_query_committed(query, now=200.0)
+        assert ledger.qos_gained == 0.0
+        assert ledger.qod_gained == 30.0
+        assert ledger.qos_percent == 0.0
+        assert ledger.qod_percent == pytest.approx(0.75)
+
+    def test_empty_ledger_percentages_zero(self):
+        ledger = ProfitLedger()
+        assert ledger.total_percent == 0.0
+        assert ledger.qos_percent == 0.0
+        assert ledger.qos_max_percent == 0.0
+
+    def test_response_time_and_staleness_tallies(self):
+        ledger = ProfitLedger()
+        for rt, uu in [(10.0, 0.0), (30.0, 2.0)]:
+            query = committed_query(rt=rt, staleness=uu)
+            ledger.on_query_submitted(query, now=0.0)
+            ledger.on_query_committed(query, now=rt)
+        assert ledger.response_time.mean == pytest.approx(20.0)
+        assert ledger.staleness.mean == pytest.approx(1.0)
+
+    def test_counters(self):
+        ledger = ProfitLedger()
+        query = committed_query()
+        update = Update(0.0, 1.0, "A")
+        ledger.on_query_submitted(query, 0.0)
+        ledger.on_query_dropped(query, 5.0)
+        ledger.on_query_unfinished(query)
+        ledger.on_update_applied(update, 1.0)
+        ledger.on_update_superseded(update, 2.0)
+        ledger.on_update_unfinished(update)
+        ledger.on_restart(victim_is_query=True)
+        ledger.on_restart(victim_is_query=False)
+        counters = ledger.counters.as_dict()
+        assert counters["queries_dropped_lifetime"] == 1
+        assert counters["queries_unfinished"] == 1
+        assert counters["updates_applied"] == 1
+        assert counters["updates_superseded"] == 1
+        assert counters["updates_unfinished"] == 1
+        assert counters["restarts_queries"] == 1
+        assert counters["restarts_updates"] == 1
+
+    def test_time_series_recorded(self):
+        ledger = ProfitLedger()
+        query = committed_query()
+        ledger.on_query_submitted(query, now=5.0)
+        ledger.on_query_committed(query, now=25.0)
+        assert list(ledger.submitted_qos_series.items()) == [(5.0, 10.0)]
+        assert list(ledger.gained_qos_series.items()) == [(25.0, 10.0)]
+
+
+class TestSimulationResult:
+    def _result(self):
+        ledger = ProfitLedger()
+        query = committed_query(rt=10.0)
+        ledger.on_query_submitted(query, now=0.0)
+        ledger.on_query_committed(query, now=10.0)
+        return SimulationResult("QUTS", duration=1_000.0, ledger=ledger)
+
+    def test_properties_delegate(self):
+        result = self._result()
+        assert result.mean_response_time == 10.0
+        assert result.total_percent == pytest.approx(1.0)
+        assert result.counters["queries_committed"] == 1
+
+    def test_profit_timeline_buckets(self):
+        result = self._result()
+        timeline = result.profit_timeline("total", bucket_ms=500.0,
+                                          window_ms=0.0)
+        assert sum(timeline.values) == pytest.approx(20.0)
+
+    def test_profit_timeline_max_lines(self):
+        result = self._result()
+        timeline = result.profit_timeline("qos", bucket_ms=500.0,
+                                          window_ms=0.0, gained=False)
+        assert sum(timeline.values) == pytest.approx(10.0)
+
+
+class TestHelpers:
+    def test_merge_series_ordered(self):
+        a, b = TimeSeries("a"), TimeSeries("b")
+        a.record(1.0, 1.0)
+        a.record(5.0, 2.0)
+        b.record(3.0, 10.0)
+        merged = _merge_series(a, b, "m")
+        assert list(merged.items()) == [(1.0, 1.0), (3.0, 10.0), (5.0, 2.0)]
+
+    def test_improvement_percent(self):
+        assert improvement_percent(2.0, 1.0) == pytest.approx(100.0)
+        assert improvement_percent(1.4, 1.0) == pytest.approx(40.0)
+        assert improvement_percent(1.0, 0.0) == float("inf")
+        assert improvement_percent(0.0, 0.0) == 0.0

@@ -1,0 +1,128 @@
+"""Unit tests for QC factories (the experiment setups of §5)."""
+
+import pytest
+
+from repro.qc.contracts import CompositionMode
+from repro.qc.generator import PhasedQCFactory, QCFactory
+from repro.sim.rng import RandomStream
+
+
+def rng(seed=0):
+    return RandomStream(seed, "test")
+
+
+class TestQCFactory:
+    def test_balanced_ranges(self):
+        """§5.1.1: qosmax, qodmax ~ U($10, $50), rtmax ~ U(50, 100)."""
+        factory = QCFactory.balanced()
+        stream = rng()
+        for __ in range(200):
+            qc = factory.sample(stream)
+            assert 10.0 <= qc.qos_max <= 50.0
+            assert 10.0 <= qc.qod_max <= 50.0
+            assert 50.0 <= qc.rt_max <= 100.0
+            assert qc.uu_max == 1.0
+
+    def test_balanced_linear_shape(self):
+        factory = QCFactory.balanced(shape="linear")
+        qc = factory.sample(rng())
+        # Linear QCs decay: half the threshold gives half the profit.
+        assert 0 < qc.qos.profit(qc.rt_max / 2) < qc.qos_max
+
+    def test_spectrum_point_decades(self):
+        """Table 4: QODmax%=0.3 means qodmax ~ U($30, $39),
+        qosmax ~ U($70, $79)."""
+        factory = QCFactory.spectrum_point(0.3)
+        assert factory.qodmax_range == (30.0, 39.0)
+        assert factory.qosmax_range == (70.0, 79.0)
+        stream = rng()
+        for __ in range(100):
+            qc = factory.sample(stream)
+            assert 30.0 <= qc.qod_max <= 39.0
+            assert 70.0 <= qc.qos_max <= 79.0
+
+    def test_spectrum_point_expected_split(self):
+        factory = QCFactory.spectrum_point(0.9)
+        stream = rng()
+        qod = qos = 0.0
+        for __ in range(2000):
+            qc = factory.sample(stream)
+            qod += qc.qod_max
+            qos += qc.qos_max
+        assert qod / (qod + qos) == pytest.approx(0.866, abs=0.01)
+
+    def test_spectrum_point_bounds(self):
+        with pytest.raises(ValueError):
+            QCFactory.spectrum_point(0.0)
+        with pytest.raises(ValueError):
+            QCFactory.spectrum_point(1.0)
+
+    def test_ratio_factory(self):
+        factory = QCFactory.ratio(5.0)
+        stream = rng()
+        for __ in range(50):
+            qc = factory.sample(stream)
+            assert qc.qos_max / qc.qod_max == pytest.approx(5.0, rel=0.25)
+
+    def test_ratio_inverse(self):
+        factory = QCFactory.ratio(0.2)
+        stream = rng()
+        qc = factory.sample(stream)
+        assert qc.qod_max > qc.qos_max
+
+    def test_ratio_requires_positive(self):
+        with pytest.raises(ValueError):
+            QCFactory.ratio(0.0)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            QCFactory((10, 50), (10, 50), shape="cubic")  # type: ignore
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            QCFactory((50, 10), (10, 50))
+
+    def test_mode_passthrough(self):
+        factory = QCFactory((10, 50), (10, 50),
+                            mode=CompositionMode.QOS_DEPENDENT)
+        assert factory.sample(rng()).mode is CompositionMode.QOS_DEPENDENT
+
+    def test_deterministic_given_stream(self):
+        a = QCFactory.balanced().sample(rng(3))
+        b = QCFactory.balanced().sample(rng(3))
+        assert a.qos_max == b.qos_max
+        assert a.rt_max == b.rt_max
+
+
+class TestPhasedQCFactory:
+    def test_factory_at_selects_phase(self):
+        early = QCFactory.ratio(5.0)
+        late = QCFactory.ratio(0.2)
+        phased = PhasedQCFactory([(0.0, early), (100.0, late)])
+        assert phased.factory_at(0.0) is early
+        assert phased.factory_at(99.9) is early
+        assert phased.factory_at(100.0) is late
+        assert phased.factory_at(1e9) is late
+
+    def test_sample_uses_time(self):
+        phased = PhasedQCFactory.flip_flop(100.0, [5.0, 0.2])
+        stream = rng()
+        early = phased.sample(stream, now=50.0)
+        late = phased.sample(stream, now=150.0)
+        assert early.qos_max > early.qod_max
+        assert late.qod_max > late.qos_max
+
+    def test_flip_flop_phase_count(self):
+        phased = PhasedQCFactory.flip_flop(75_000.0, [0.2, 5.0, 0.2, 5.0])
+        assert len(phased.phases) == 4
+        assert [start for start, __ in phased.phases] == [
+            0.0, 75_000.0, 150_000.0, 225_000.0]
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedQCFactory([])
+
+    def test_non_increasing_starts_rejected(self):
+        factory = QCFactory.balanced()
+        with pytest.raises(ValueError):
+            PhasedQCFactory([(10.0, factory), (10.0, factory)])

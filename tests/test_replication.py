@@ -1,0 +1,86 @@
+"""Tests for the multi-seed replication harness."""
+
+import pytest
+
+from repro.experiments.replication import (MetricSummary, compare_policies,
+                                           replicate)
+from repro.qc.generator import QCFactory
+from repro.workload.synthetic import WorkloadSpec
+
+
+class TestMetricSummary:
+    def test_mean_and_stdev(self):
+        summary = MetricSummary("m", (1.0, 2.0, 3.0))
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.stdev == pytest.approx(1.0)
+        assert summary.n == 3
+
+    def test_single_sample_no_spread(self):
+        summary = MetricSummary("m", (5.0,))
+        assert summary.stdev == 0.0
+        assert summary.ci95 == (5.0, 5.0)
+
+    def test_ci_contains_mean(self):
+        summary = MetricSummary("m", (1.0, 2.0, 3.0, 4.0))
+        lo, hi = summary.ci95
+        assert lo <= summary.mean <= hi
+
+    def test_overlap_detection(self):
+        tight_low = MetricSummary("a", (1.0, 1.01, 0.99))
+        tight_high = MetricSummary("b", (2.0, 2.01, 1.99))
+        wide = MetricSummary("c", (0.0, 3.0))
+        assert not tight_low.overlaps(tight_high)
+        assert tight_low.overlaps(wide)
+        assert tight_high.overlaps(wide)
+
+    def test_row_rendering(self):
+        row = MetricSummary("m", (1.0, 3.0)).row()
+        assert row["metric"] == "m"
+        assert row["n"] == 2
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def light_spec(self):
+        # A light 8 s workload keeps replication tests fast.
+        return WorkloadSpec(query_rate_per_s=10.0, update_rate_per_s=40.0,
+                            crowds_per_5min=0.0).scaled(8_000.0)
+
+    def test_replicate_runs_n_seeds(self, light_spec):
+        summary = replicate("QH", QCFactory.balanced, n_seeds=3,
+                            duration_ms=8_000.0,
+                            metrics=("total%", "rt_ms"), spec=light_spec)
+        assert summary["total%"].n == 3
+        assert summary["rt_ms"].n == 3
+        assert 0.0 <= summary["total%"].mean <= 1.0
+
+    def test_seeds_vary_results(self, light_spec):
+        summary = replicate("QH", QCFactory.balanced, n_seeds=3,
+                            duration_ms=8_000.0, spec=light_spec)
+        # Independent workloads: not all samples identical.
+        assert len(set(summary["total%"].samples)) > 1
+
+    def test_deterministic_given_base_seed(self, light_spec):
+        a = replicate("QH", QCFactory.balanced, n_seeds=2,
+                      duration_ms=8_000.0, spec=light_spec, base_seed=7)
+        b = replicate("QH", QCFactory.balanced, n_seeds=2,
+                      duration_ms=8_000.0, spec=light_spec, base_seed=7)
+        assert a["total%"].samples == b["total%"].samples
+
+    def test_unknown_metric_rejected(self, light_spec):
+        with pytest.raises(KeyError):
+            replicate("QH", QCFactory.balanced, n_seeds=1,
+                      metrics=("latency",), spec=light_spec)
+
+    def test_zero_seeds_rejected(self, light_spec):
+        with pytest.raises(ValueError):
+            replicate("QH", QCFactory.balanced, n_seeds=0,
+                      spec=light_spec)
+
+    def test_compare_policies_common_seeds(self, light_spec):
+        comparison = compare_policies(("QH", "UH"), QCFactory.balanced,
+                                      n_seeds=2, duration_ms=8_000.0,
+                                      spec=light_spec)
+        assert set(comparison) == {"QH", "UH"}
+        for summary in comparison.values():
+            assert summary.n == 2

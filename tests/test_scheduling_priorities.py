@@ -1,0 +1,86 @@
+"""Unit tests for low-level priority policies."""
+
+import pytest
+
+from repro.db.transactions import Query, Update
+from repro.qc.contracts import QualityContract
+from repro.scheduling.priorities import (EDFPriority, FCFSPriority,
+                                         PRIORITY_POLICIES,
+                                         ProfitRatePriority, VRDPriority,
+                                         make_priority)
+
+
+def query(at=0.0, qosmax=10.0, qodmax=0.0, rtmax=50.0, exec_time=5.0):
+    return Query(arrival_time=at, exec_time=exec_time, items=("A",),
+                 qc=QualityContract.step(qosmax, rtmax, qodmax, 1.0))
+
+
+def update(at=0.0):
+    return Update(arrival_time=at, exec_time=1.0, item="A")
+
+
+class TestFCFS:
+    def test_orders_by_arrival(self):
+        policy = FCFSPriority()
+        assert policy.key(update(at=1.0)) < policy.key(update(at=2.0))
+
+    def test_applies_to_queries_too(self):
+        policy = FCFSPriority()
+        assert policy.key(query(at=1.0)) < policy.key(query(at=2.0))
+
+
+class TestVRD:
+    def test_higher_value_per_deadline_first(self):
+        """VRD = (qosmax + qodmax) / rtmax; bigger ratio runs first."""
+        policy = VRDPriority()
+        strong = query(qosmax=50.0, rtmax=50.0)   # ratio 1.0
+        weak = query(qosmax=10.0, rtmax=100.0)    # ratio 0.1
+        assert policy.key(strong) < policy.key(weak)
+
+    def test_uses_total_value(self):
+        policy = VRDPriority()
+        qod_rich = query(qosmax=0.0, qodmax=50.0, rtmax=50.0)
+        qos_poor = query(qosmax=10.0, qodmax=0.0, rtmax=50.0)
+        assert policy.key(qod_rich) < policy.key(qos_poor)
+
+    def test_updates_fall_back_to_fcfs(self):
+        policy = VRDPriority()
+        assert policy.key(update(at=1.0)) < policy.key(update(at=2.0))
+
+    def test_free_contract_ranks_last(self):
+        policy = VRDPriority()
+        free = Query(0.0, 5.0, ("A",), QualityContract.free())
+        paid = query(qosmax=1.0, rtmax=100.0)
+        assert policy.key(paid) < policy.key(free)
+
+
+class TestEDF:
+    def test_earliest_absolute_deadline_first(self):
+        policy = EDFPriority()
+        early = query(at=0.0, rtmax=50.0)    # deadline 50
+        late = query(at=20.0, rtmax=100.0)   # deadline 120
+        assert policy.key(early) < policy.key(late)
+
+    def test_arrival_breaks_equal_relative_deadlines(self):
+        policy = EDFPriority()
+        a = query(at=0.0, rtmax=50.0)
+        b = query(at=10.0, rtmax=50.0)
+        assert policy.key(a) < policy.key(b)
+
+
+class TestProfitRate:
+    def test_profit_per_service_time(self):
+        policy = ProfitRatePriority()
+        dense = query(qosmax=50.0, exec_time=5.0)   # 10/ms
+        sparse = query(qosmax=50.0, exec_time=9.0)  # 5.6/ms
+        assert policy.key(dense) < policy.key(sparse)
+
+
+class TestRegistry:
+    def test_all_registered_policies_instantiate(self):
+        for name in PRIORITY_POLICIES:
+            assert make_priority(name).name == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError, match="unknown priority"):
+            make_priority("random")

@@ -1,0 +1,136 @@
+"""Unit tests for the lazy-invalidation transaction queue."""
+
+from repro.db.transactions import Query, TxnStatus, Update
+from repro.qc.contracts import QualityContract
+from repro.scheduling.priorities import FCFSPriority, VRDPriority
+from repro.scheduling.queues import TransactionQueue
+
+
+def update(at=0.0, item="A"):
+    return Update(arrival_time=at, exec_time=1.0, item=item)
+
+
+def query(at=0.0, qosmax=10.0, rtmax=50.0):
+    return Query(arrival_time=at, exec_time=5.0, items=("A",),
+                 qc=QualityContract.step(qosmax, rtmax, 0.0, 1.0))
+
+
+class TestBasicOperations:
+    def test_fifo_order(self):
+        q = TransactionQueue(FCFSPriority())
+        first, second = update(at=1.0), update(at=2.0)
+        q.push(second)
+        q.push(first)
+        assert q.pop() is first
+        assert q.pop() is second
+        assert q.pop() is None
+
+    def test_peek_does_not_remove(self):
+        q = TransactionQueue(FCFSPriority())
+        txn = update()
+        q.push(txn)
+        assert q.peek() is txn
+        assert q.peek() is txn
+        assert q.pop() is txn
+
+    def test_vrd_order(self):
+        q = TransactionQueue(VRDPriority())
+        cheap = query(qosmax=1.0, rtmax=100.0)    # VRD 0.01
+        valuable = query(qosmax=50.0, rtmax=50.0)  # VRD 1.0
+        q.push(cheap)
+        q.push(valuable)
+        assert q.pop() is valuable
+
+    def test_is_empty(self):
+        q = TransactionQueue(FCFSPriority())
+        assert q.is_empty()
+        q.push(update())
+        assert not q.is_empty()
+
+
+class TestInvalidation:
+    def test_dead_transactions_skipped_at_pop(self):
+        q = TransactionQueue(FCFSPriority())
+        dead, alive = update(at=1.0), update(at=2.0)
+        q.push(dead)
+        q.push(alive)
+        dead.status = TxnStatus.DROPPED_SUPERSEDED
+        assert q.pop() is alive
+
+    def test_dead_transactions_skipped_at_peek(self):
+        q = TransactionQueue(FCFSPriority())
+        dead = update(at=1.0)
+        q.push(dead)
+        dead.status = TxnStatus.DROPPED_SUPERSEDED
+        assert q.peek() is None
+        assert q.is_empty()
+
+    def test_len_counts_only_live_members(self):
+        q = TransactionQueue(FCFSPriority())
+        dead, alive = update(at=1.0), update(at=2.0)
+        q.push(dead)
+        q.push(alive)
+        dead.status = TxnStatus.DROPPED_SUPERSEDED
+        assert len(q) == 1
+
+    def test_dead_push_ignored(self):
+        q = TransactionQueue(FCFSPriority())
+        dead = update()
+        dead.status = TxnStatus.COMMITTED
+        q.push(dead)
+        assert q.pop() is None
+
+
+class TestMembership:
+    def test_double_push_is_single_entry(self):
+        q = TransactionQueue(FCFSPriority())
+        txn = update()
+        q.push(txn)
+        q.push(txn)
+        assert q.pop() is txn
+        assert q.pop() is None
+
+    def test_push_after_pop_reenters(self):
+        q = TransactionQueue(FCFSPriority())
+        txn = update()
+        q.push(txn)
+        assert q.pop() is txn
+        q.push(txn)
+        assert q.pop() is txn
+
+    def test_discard_removes(self):
+        q = TransactionQueue(FCFSPriority())
+        txn = update()
+        q.push(txn)
+        q.discard(txn)
+        assert q.pop() is None
+
+    def test_discard_unknown_is_noop(self):
+        q = TransactionQueue(FCFSPriority())
+        q.discard(update())  # must not raise
+
+    def test_approximate_len_includes_dead(self):
+        q = TransactionQueue(FCFSPriority())
+        dead = update()
+        q.push(dead)
+        dead.status = TxnStatus.COMMITTED
+        assert q.approximate_len() == 1
+        assert len(q) == 0
+
+
+class TestDrain:
+    def test_drain_yields_in_priority_order(self):
+        q = TransactionQueue(FCFSPriority())
+        txns = [update(at=float(k)) for k in range(5)]
+        for txn in reversed(txns):
+            q.push(txn)
+        assert list(q.drain()) == txns
+        assert q.is_empty()
+
+    def test_drain_skips_dead(self):
+        q = TransactionQueue(FCFSPriority())
+        a, b = update(at=1.0), update(at=2.0)
+        q.push(a)
+        q.push(b)
+        a.status = TxnStatus.DROPPED_SUPERSEDED
+        assert list(q.drain()) == [b]

@@ -1,0 +1,117 @@
+"""Unit tests for the Environment event loop."""
+
+import pytest
+
+from repro.sim import Environment, Infinity
+from repro.sim.errors import EventLifecycleError, SchedulingError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=500.0).now == 500.0
+
+    def test_run_until_time_advances_clock(self):
+        env = Environment()
+
+        def idle(env):
+            yield env.timeout(1000)
+
+        env.process(idle(env))
+        env.run(until=250.0)
+        assert env.now == 250.0
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=100.0)
+        with pytest.raises(SchedulingError):
+            env.run(until=50.0)
+
+    def test_run_until_event_returns_value(self):
+        env = Environment()
+
+        def producer(env, done):
+            yield env.timeout(5)
+            done.succeed("answer")
+
+        done = env.event()
+        env.process(producer(env, done))
+        assert env.run(until=done) == "answer"
+        assert env.now == 5.0
+
+    def test_run_exhausts_queue_without_until(self):
+        env = Environment()
+
+        def short(env):
+            yield env.timeout(7)
+
+        env.process(short(env))
+        env.run()
+        assert env.now == 7.0
+
+    def test_events_at_until_time_are_processed(self):
+        """Events scheduled exactly at the horizon run before stopping."""
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(10)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=10.0)
+        assert fired == [10.0]
+
+
+class TestScheduling:
+    def test_peek_empty_is_infinity(self):
+        assert Environment().peek() == Infinity
+
+    def test_peek_returns_next_event_time(self):
+        env = Environment()
+        env.timeout(42.0)
+        assert env.peek() == 42.0
+
+    def test_step_empty_raises(self):
+        with pytest.raises(EventLifecycleError):
+            Environment().step()
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        event = env.event()
+        event._ok = True
+        event._value = None
+        with pytest.raises(SchedulingError):
+            env.schedule(event, delay=-5.0)
+
+    def test_same_time_fifo_among_equal_priority(self):
+        env = Environment()
+        order = []
+
+        def waiter(env, tag):
+            yield env.timeout(10)
+            order.append(tag)
+
+        for tag in ("first", "second", "third"):
+            env.process(waiter(env, tag))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_active_process_tracking(self):
+        env = Environment()
+        observed = []
+
+        def proc(env):
+            observed.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        assert env.active_process is None
+        env.run()
+        assert observed == [p]
+        assert env.active_process is None
+
+    def test_repr_mentions_time(self):
+        env = Environment(initial_time=3.0)
+        assert "3.0" in repr(env)

@@ -1,0 +1,239 @@
+"""Unit tests for the kernel's event primitives."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.errors import EventLifecycleError
+from repro.sim.events import ConditionValue, Event, Timeout, all_of, any_of
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_untriggered(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value_and_ok(self, env):
+        event = env.event().succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_fail_sets_exception(self, env):
+        exc = RuntimeError("boom")
+        event = env.event().fail(exc)
+        assert event.triggered
+        assert not event.ok
+        assert event.value is exc
+
+    def test_fail_requires_exception_instance(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_double_succeed_raises(self, env):
+        event = env.event().succeed()
+        with pytest.raises(EventLifecycleError):
+            event.succeed()
+
+    def test_succeed_after_fail_raises(self, env):
+        event = env.event().fail(ValueError("x"))
+        event.defuse()
+        with pytest.raises(EventLifecycleError):
+            event.succeed()
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(EventLifecycleError):
+            env.event().value
+
+    def test_ok_before_trigger_raises(self, env):
+        with pytest.raises(EventLifecycleError):
+            env.event().ok
+
+    def test_callbacks_run_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("payload")
+        env.run()
+        assert seen == ["payload"]
+
+    def test_processed_after_run(self, env):
+        event = env.event().succeed()
+        env.run()
+        assert event.processed
+
+    def test_trigger_copies_success(self, env):
+        source = env.event().succeed("v")
+        target = env.event()
+        target.trigger(source)
+        assert target.ok and target.value == "v"
+
+    def test_trigger_copies_failure(self, env):
+        exc = ValueError("source failed")
+        source = env.event().fail(exc)
+        source.defuse()
+        target = env.event()
+        target.trigger(source)
+        target.defuse()
+        assert not target.ok
+        assert target.value is exc
+
+
+class TestTimeout:
+    def test_timeout_fires_at_delay(self, env):
+        seen = []
+
+        def proc(env):
+            yield env.timeout(12.5)
+            seen.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == [12.5]
+
+    def test_timeout_carries_value(self, env):
+        results = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="hello")
+            results.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert results == ["hello"]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            Timeout(env, -1.0)
+
+    def test_zero_delay_fires_now(self, env):
+        seen = []
+
+        def proc(env):
+            yield env.timeout(0.0)
+            seen.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == [0.0]
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+
+        def waiter(env, delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(waiter(env, 30, "c"))
+        env.process(waiter(env, 10, "a"))
+        env.process(waiter(env, 20, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestConditions:
+    def test_any_of_returns_first(self, env):
+        results = []
+
+        def proc(env):
+            fast = env.timeout(5, "fast")
+            slow = env.timeout(50, "slow")
+            value = yield any_of(env, [fast, slow])
+            results.append((env.now, list(value.todict().values())))
+
+        env.process(proc(env))
+        env.run()
+        assert results == [(5.0, ["fast"])]
+
+    def test_all_of_waits_for_all(self, env):
+        results = []
+
+        def proc(env):
+            value = yield all_of(env, [env.timeout(5, "a"),
+                                       env.timeout(9, "b")])
+            results.append((env.now, sorted(value.todict().values())))
+
+        env.process(proc(env))
+        env.run()
+        assert results == [(9.0, ["a", "b"])]
+
+    def test_all_of_empty_is_immediate(self, env):
+        fired = []
+
+        def proc(env):
+            yield all_of(env, [])
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == [0.0]
+
+    def test_any_of_empty_is_immediate(self, env):
+        fired = []
+
+        def proc(env):
+            yield any_of(env, [])
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == [0.0]
+
+    def test_condition_propagates_failure(self, env):
+        caught = []
+
+        def failer(env):
+            yield env.timeout(1)
+            raise RuntimeError("child failed")
+
+        def proc(env):
+            child = env.process(failer(env))
+            try:
+                yield all_of(env, [child, env.timeout(100)])
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        env.process(proc(env))
+        env.run()
+        assert caught == ["child failed"]
+
+    def test_condition_rejects_foreign_events(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            all_of(env, [env.event(), other.event()])
+
+    def test_condition_value_mapping_interface(self, env):
+        collected = {}
+
+        def proc(env):
+            t1 = env.timeout(1, "x")
+            value = yield all_of(env, [t1])
+            collected["contains"] = t1 in value
+            collected["len"] = len(value)
+            collected["getitem"] = value[t1]
+            collected["iter"] = list(iter(value))
+
+        env.process(proc(env))
+        env.run()
+        assert collected["contains"] is True
+        assert collected["len"] == 1
+        assert collected["getitem"] == "x"
+        assert len(collected["iter"]) == 1
+
+    def test_condition_value_missing_key(self):
+        value = ConditionValue()
+        with pytest.raises(KeyError):
+            value[object()]  # noqa: B018 - exercising __getitem__
+
+    def test_condition_value_eq_dict(self, env):
+        event = Event(env)
+        event._ok = True
+        event._value = 3
+        value = ConditionValue()
+        value.events.append(event)
+        assert value == {event: 3}

@@ -1,0 +1,157 @@
+"""Unit + property tests for the measurement utilities."""
+
+import statistics
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.monitor import (Counter, CounterSet, Tally, TimeSeries,
+                               TimeWeighted)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestTally:
+    def test_empty_tally_defaults(self):
+        tally = Tally("x")
+        assert tally.count == 0
+        assert tally.mean == 0.0
+        assert tally.variance == 0.0
+
+    def test_single_observation(self):
+        tally = Tally()
+        tally.observe(5.0)
+        assert tally.mean == 5.0
+        assert tally.minimum == tally.maximum == 5.0
+        assert tally.variance == 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    @settings(max_examples=100)
+    def test_matches_statistics_module(self, values):
+        tally = Tally()
+        for value in values:
+            tally.observe(value)
+        assert tally.mean == pytest.approx(statistics.fmean(values),
+                                           rel=1e-9, abs=1e-6)
+        assert tally.variance == pytest.approx(statistics.variance(values),
+                                               rel=1e-6, abs=1e-6)
+        assert tally.minimum == min(values)
+        assert tally.maximum == max(values)
+        assert tally.total == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+
+    def test_stdev_is_sqrt_variance(self):
+        tally = Tally()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            tally.observe(v)
+        assert tally.stdev == pytest.approx(tally.variance ** 0.5)
+
+
+class TestTimeSeries:
+    def test_record_and_items(self):
+        series = TimeSeries("s")
+        series.record(0.0, 1.0)
+        series.record(5.0, 2.0)
+        assert list(series.items()) == [(0.0, 1.0), (5.0, 2.0)]
+        assert len(series) == 2
+
+    def test_rejects_time_travel(self):
+        series = TimeSeries()
+        series.record(10.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(5.0, 2.0)
+
+    def test_equal_times_allowed(self):
+        series = TimeSeries()
+        series.record(1.0, 1.0)
+        series.record(1.0, 2.0)
+        assert len(series) == 2
+
+    def test_moving_window_flat_signal_unchanged(self):
+        series = TimeSeries()
+        for t in range(20):
+            series.record(float(t), 3.0)
+        smoothed = series.moving_window_average(5.0)
+        assert all(v == pytest.approx(3.0) for v in smoothed.values)
+
+    def test_moving_window_smooths_spike(self):
+        series = TimeSeries()
+        for t in range(21):
+            series.record(float(t), 10.0 if t == 10 else 0.0)
+        smoothed = series.moving_window_average(4.0)
+        assert max(smoothed.values) < 10.0
+        assert smoothed.values[10] > 0.0
+
+    def test_moving_window_requires_positive_window(self):
+        with pytest.raises(ValueError):
+            TimeSeries().moving_window_average(0.0)
+
+    def test_bucket_sums(self):
+        series = TimeSeries()
+        for t, v in [(0.5, 1.0), (0.9, 2.0), (1.5, 4.0), (2.7, 8.0)]:
+            series.record(t, v)
+        bucketed = series.bucket_sums(1.0, start=0.0, end=3.0)
+        assert bucketed.values == [3.0, 4.0, 8.0]
+        assert bucketed.times == [0.5, 1.5, 2.5]
+
+    def test_bucket_sums_ignores_out_of_range(self):
+        series = TimeSeries()
+        series.record(5.0, 100.0)
+        bucketed = series.bucket_sums(1.0, start=0.0, end=3.0)
+        assert sum(bucketed.values) == 0.0
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                              finite_floats),
+                    min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_bucket_sums_conserve_mass(self, points):
+        points.sort(key=lambda p: p[0])
+        series = TimeSeries()
+        for t, v in points:
+            series.record(t, v)
+        bucketed = series.bucket_sums(7.0, start=0.0, end=101.0)
+        assert sum(bucketed.values) == pytest.approx(
+            sum(v for __, v in points), rel=1e-9, abs=1e-6)
+
+
+class TestTimeWeighted:
+    def test_constant_signal(self):
+        clock = [0.0]
+        tw = TimeWeighted(lambda: clock[0], initial=4.0)
+        clock[0] = 10.0
+        assert tw.average == pytest.approx(4.0)
+
+    def test_step_signal(self):
+        clock = [0.0]
+        tw = TimeWeighted(lambda: clock[0], initial=0.0)
+        clock[0] = 5.0
+        tw.update(10.0)   # 0 for 5 units
+        clock[0] = 10.0   # 10 for 5 units
+        assert tw.average == pytest.approx(5.0)
+        assert tw.current == 10.0
+
+    def test_zero_span_returns_current(self):
+        tw = TimeWeighted(lambda: 0.0, initial=7.0)
+        assert tw.average == 7.0
+
+
+class TestCounters:
+    def test_counter_increment(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(3)
+        assert counter.value == 4
+
+    def test_counter_set_creates_lazily(self):
+        counters = CounterSet()
+        assert counters.value("missing") == 0
+        counters.increment("a")
+        counters.increment("a", 2)
+        assert counters.value("a") == 3
+
+    def test_counter_set_as_dict_sorted(self):
+        counters = CounterSet()
+        counters.increment("zebra")
+        counters.increment("apple")
+        assert list(counters.as_dict()) == ["apple", "zebra"]

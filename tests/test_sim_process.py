@@ -1,0 +1,228 @@
+"""Unit tests for generator-based processes and interrupts."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+from repro.sim.errors import ProcessError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_process_requires_generator(self, env):
+        with pytest.raises(ProcessError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_process_return_value(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return "result"
+
+        def parent(env, out):
+            out.append((yield env.process(child(env))))
+
+        out = []
+        env.process(parent(env, out))
+        env.run()
+        assert out == ["result"]
+
+    def test_process_is_alive_until_done(self, env):
+        def child(env):
+            yield env.timeout(10)
+
+        proc = env.process(child(env))
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_process_name_defaults_to_function(self, env):
+        def my_process(env):
+            yield env.timeout(1)
+
+        proc = env.process(my_process(env))
+        assert proc.name == "my_process"
+
+    def test_exception_propagates_to_waiter(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise ValueError("inner")
+
+        caught = []
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        env.process(parent(env))
+        env.run()
+        assert caught == ["inner"]
+
+    def test_unhandled_process_exception_aborts_run(self, env):
+        def boom(env):
+            yield env.timeout(1)
+            raise RuntimeError("unhandled")
+
+        env.process(boom(env))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_yielding_non_event_raises_in_process(self, env):
+        caught = []
+
+        def bad(env):
+            try:
+                yield 42  # not an Event
+            except ProcessError as exc:
+                caught.append(str(exc))
+
+        env.process(bad(env))
+        env.run()
+        assert caught and "not an Event" in caught[0]
+
+    def test_many_sequential_yields(self, env):
+        def ticker(env, out):
+            for __ in range(100):
+                yield env.timeout(1)
+            out.append(env.now)
+
+        out = []
+        env.process(ticker(env, out))
+        env.run()
+        assert out == [100.0]
+
+    def test_two_processes_interleave(self, env):
+        log = []
+
+        def walker(env, step, tag):
+            for __ in range(3):
+                yield env.timeout(step)
+                log.append((env.now, tag))
+
+        env.process(walker(env, 2, "fast"))
+        env.process(walker(env, 3, "slow"))
+        env.run()
+        # At the t=6 tie, slow's timeout was scheduled first (at t=3) and
+        # therefore fires first.
+        assert log == [(2.0, "fast"), (3.0, "slow"), (4.0, "fast"),
+                       (6.0, "slow"), (6.0, "fast"), (9.0, "slow")]
+
+    def test_waiting_on_already_processed_event(self, env):
+        """Yielding an event that already fired resumes immediately."""
+        results = []
+
+        def proc(env):
+            done = env.event().succeed("early")
+            yield env.timeout(5)  # let `done` be processed meanwhile
+            value = yield done
+            results.append((env.now, value))
+
+        env.process(proc(env))
+        env.run()
+        assert results == [(5.0, "early")]
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        causes = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                causes.append((env.now, interrupt.cause))
+
+        def attacker(env, target):
+            yield env.timeout(10)
+            target.interrupt("reason")
+
+        target = env.process(victim(env))
+        env.process(attacker(env, target))
+        env.run()
+        assert causes == [(10.0, "reason")]
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(5)
+            log.append(env.now)
+
+        def attacker(env, target):
+            yield env.timeout(10)
+            target.interrupt()
+
+        target = env.process(victim(env))
+        env.process(attacker(env, target))
+        env.run()
+        assert log == [15.0]
+
+    def test_interrupt_terminated_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        proc = env.process(quick(env))
+        env.run()
+        with pytest.raises(ProcessError):
+            proc.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        errors = []
+
+        def selfish(env):
+            me = env.active_process
+            try:
+                me.interrupt("self")
+            except ProcessError as exc:
+                errors.append(str(exc))
+            yield env.timeout(1)
+
+        env.process(selfish(env))
+        env.run()
+        assert errors and "interrupt itself" in errors[0]
+
+    def test_interrupt_unsubscribes_from_target(self, env):
+        """After an interrupt, the old target firing must not resume the
+        process a second time."""
+        resumed = []
+
+        def victim(env):
+            try:
+                yield env.timeout(20)
+            except Interrupt:
+                resumed.append(("interrupt", env.now))
+            yield env.timeout(50)
+            resumed.append(("done", env.now))
+
+        def attacker(env, target):
+            yield env.timeout(10)
+            target.interrupt()
+
+        target = env.process(victim(env))
+        env.process(attacker(env, target))
+        env.run()
+        # 20 ms timeout fires into the void; process resumes at 60.
+        assert resumed == [("interrupt", 10.0), ("done", 60.0)]
+
+    def test_interrupt_after_termination_same_timestamp(self, env):
+        """An interrupt racing with termination is quietly dropped."""
+        def victim(env):
+            yield env.timeout(10)
+
+        def attacker(env, target):
+            yield env.timeout(10)
+            if target.is_alive:
+                target.interrupt()
+
+        target = env.process(victim(env))
+        env.process(attacker(env, target))
+        env.run()  # must not raise
+        assert not target.is_alive

@@ -1,0 +1,134 @@
+"""Unit + property tests for named random streams."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import RandomStream, StreamRegistry, _derive_seed
+
+
+class TestStreamRegistry:
+    def test_same_name_same_stream_object(self):
+        registry = StreamRegistry(0)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_different_names_different_sequences(self):
+        registry = StreamRegistry(0)
+        a = [registry.stream("a").random() for __ in range(5)]
+        b = [registry.stream("b").random() for __ in range(5)]
+        assert a != b
+
+    def test_same_seed_reproducible(self):
+        first = [StreamRegistry(7).stream("x").random() for __ in range(3)]
+        second = [StreamRegistry(7).stream("x").random() for __ in range(3)]
+        assert first == second
+
+    def test_different_master_seeds_differ(self):
+        a = StreamRegistry(1).stream("x").random()
+        b = StreamRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_spawn_is_deterministic_and_distinct(self):
+        parent = StreamRegistry(5)
+        child_a = parent.spawn("run1")
+        child_b = parent.spawn("run1")
+        assert child_a.master_seed == child_b.master_seed
+        assert child_a.master_seed != parent.master_seed
+        assert parent.spawn("run2").master_seed != child_a.master_seed
+
+    def test_stream_isolation(self):
+        """Consuming one stream must not perturb another."""
+        registry_a = StreamRegistry(0)
+        registry_a.stream("noise").random()  # consume
+        value_a = registry_a.stream("signal").random()
+
+        registry_b = StreamRegistry(0)
+        value_b = registry_b.stream("signal").random()
+        assert value_a == value_b
+
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.text(min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_derive_seed_is_stable_64bit(self, master, name):
+        seed = _derive_seed(master, name)
+        assert 0 <= seed < 2 ** 64
+        assert seed == _derive_seed(master, name)
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        rng = RandomStream(0, "t")
+        samples = [rng.exponential(10.0) for __ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(10.0, rel=0.05)
+
+    def test_exponential_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            RandomStream(0, "t").exponential(0.0)
+
+    def test_zipf_rank_in_range(self):
+        rng = RandomStream(1, "z")
+        for __ in range(1000):
+            rank = rng.zipf_rank(100, 0.9)
+            assert 1 <= rank <= 100
+
+    def test_zipf_rank_skew(self):
+        """Rank 1 must be drawn far more often than rank 50."""
+        rng = RandomStream(2, "z")
+        counts = {}
+        for __ in range(20_000):
+            rank = rng.zipf_rank(100, 1.0)
+            counts[rank] = counts.get(rank, 0) + 1
+        assert counts.get(1, 0) > 10 * counts.get(50, 1)
+
+    def test_zipf_theta_zero_is_uniformish(self):
+        rng = RandomStream(3, "z")
+        counts = [0] * 10
+        for __ in range(20_000):
+            counts[rng.zipf_rank(10, 0.0) - 1] += 1
+        assert max(counts) < 1.25 * min(counts)
+
+    def test_zipf_invalid_n(self):
+        with pytest.raises(ValueError):
+            RandomStream(0, "z").zipf_rank(0, 1.0)
+
+    @given(st.floats(min_value=0.1, max_value=2.0),
+           st.integers(min_value=1, max_value=500))
+    @settings(max_examples=30)
+    def test_zipf_rank_always_valid(self, theta, n):
+        rng = RandomStream(0, "prop")
+        for __ in range(20):
+            assert 1 <= rng.zipf_rank(n, theta) <= n
+
+    def test_bounded_pareto_within_bounds(self):
+        rng = RandomStream(4, "p")
+        for __ in range(1000):
+            value = rng.bounded_pareto(1.5, 1.0, 100.0)
+            assert 1.0 <= value <= 100.0 + 1e-9
+
+    def test_bounded_pareto_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            RandomStream(0, "p").bounded_pareto(1.5, 10.0, 1.0)
+
+    def test_repr_contains_name(self):
+        assert "quotes" in repr(RandomStream(0, "quotes"))
+
+
+class TestZipfCdfCache:
+    def test_cdf_terminates_at_one(self):
+        from repro.sim.rng import _zipf_cdf
+        cdf = _zipf_cdf(50, 0.8)
+        assert cdf[-1] == 1.0
+        assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+
+    def test_cache_returns_same_object(self):
+        from repro.sim.rng import _zipf_cdf
+        assert _zipf_cdf(64, 0.9) is _zipf_cdf(64, 0.9)
+
+    def test_monotone_decreasing_mass(self):
+        from repro.sim.rng import _zipf_cdf
+        cdf = _zipf_cdf(20, 1.2)
+        masses = [cdf[0]] + [b - a for a, b in zip(cdf, cdf[1:])]
+        assert all(m1 >= m2 - 1e-12 for m1, m2 in zip(masses, masses[1:]))
+        assert math.isclose(sum(masses), 1.0, rel_tol=1e-9)

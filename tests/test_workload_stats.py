@@ -1,0 +1,101 @@
+"""Unit tests for trace statistics (Figure 5 / Table 3 extraction)."""
+
+import pytest
+
+from repro.workload.stats import (per_stock_counts, query_rate_series,
+                                  summarize, update_rate_series)
+from repro.workload.traces import QueryRecord, Trace, UpdateRecord
+
+
+def trace_with(queries=(), updates=(), duration=10_000.0):
+    return Trace(list(queries), list(updates), duration_ms=duration)
+
+
+class TestRateSeries:
+    def test_counts_per_second(self):
+        trace = trace_with(
+            queries=[QueryRecord(100.0, ("A",), 5.0),
+                     QueryRecord(900.0, ("A",), 5.0),
+                     QueryRecord(1500.0, ("B",), 5.0)],
+            duration=3_000.0)
+        rates = query_rate_series(trace)
+        assert rates.counts == (2, 1, 0)
+        assert rates.seconds == (0.0, 1.0, 2.0)
+
+    def test_arrival_at_duration_lands_in_last_bucket(self):
+        trace = trace_with(
+            updates=[UpdateRecord(2_000.0, "A", 1.0)],
+            duration=2_000.0)
+        rates = update_rate_series(trace)
+        assert sum(rates.counts) == 1
+
+    def test_mean_and_max(self):
+        trace = trace_with(
+            queries=[QueryRecord(t, ("A",), 5.0)
+                     for t in (0.0, 1.0, 2.0, 1500.0)],
+            duration=2_000.0)
+        rates = query_rate_series(trace)
+        assert rates.maximum == 3
+        assert rates.mean == pytest.approx(2.0)
+
+    def test_half_means(self):
+        trace = trace_with(
+            updates=[UpdateRecord(t, "A", 1.0)
+                     for t in (0.0, 100.0, 200.0, 3500.0)],
+            duration=4_000.0)
+        rates = update_rate_series(trace)
+        assert rates.first_half_mean() == pytest.approx(1.5)
+        assert rates.second_half_mean() == pytest.approx(0.5)
+
+
+class TestPerStockCounts:
+    def test_multi_item_queries_count_each_item(self):
+        trace = trace_with(
+            queries=[QueryRecord(0.0, ("A", "B"), 5.0)],
+            updates=[UpdateRecord(0.0, "A", 1.0)])
+        counts = per_stock_counts(trace)
+        assert counts.queries == {"A": 1, "B": 1}
+        assert counts.updates == {"A": 1}
+
+    def test_scatter_includes_all_touched(self):
+        trace = trace_with(
+            queries=[QueryRecord(0.0, ("A",), 5.0)],
+            updates=[UpdateRecord(0.0, "B", 1.0)])
+        scatter = per_stock_counts(trace).scatter()
+        assert scatter == [("A", 1, 0), ("B", 0, 1)]
+
+    def test_fraction_below_diagonal(self):
+        trace = trace_with(
+            queries=[QueryRecord(0.0, ("A",), 5.0)],
+            updates=[UpdateRecord(0.0, "A", 1.0),
+                     UpdateRecord(1.0, "A", 1.0),
+                     UpdateRecord(2.0, "B", 1.0)])
+        counts = per_stock_counts(trace)
+        # A: 2 updates > 1 query (below); B: 1 update > 0 queries (below).
+        assert counts.fraction_below_diagonal() == 1.0
+
+    def test_empty_trace(self):
+        counts = per_stock_counts(trace_with())
+        assert counts.fraction_below_diagonal() == 0.0
+        assert counts.scatter() == []
+
+
+class TestSummary:
+    def test_summarize_empty(self):
+        summary = summarize(trace_with())
+        assert summary.n_queries == 0
+        assert summary.query_exec_min_ms == 0.0
+
+    def test_summarize_values(self):
+        trace = trace_with(
+            queries=[QueryRecord(0.0, ("A",), 5.0),
+                     QueryRecord(1.0, ("B",), 9.0)],
+            updates=[UpdateRecord(0.0, "C", 1.0)],
+            duration=60_000.0)
+        summary = summarize(trace)
+        assert summary.n_queries == 2
+        assert summary.n_updates == 1
+        assert summary.n_stocks == 3
+        assert summary.duration_s == 60.0
+        assert summary.query_exec_min_ms == 5.0
+        assert summary.query_exec_max_ms == 9.0

@@ -1,0 +1,77 @@
+"""Unit tests for trace containers and CSV persistence."""
+
+import pytest
+
+from repro.workload.traces import QueryRecord, Trace, UpdateRecord
+
+
+def small_trace():
+    queries = [QueryRecord(10.0, ("A", "B"), 7.0),
+               QueryRecord(5.0, ("C",), 6.0)]
+    updates = [UpdateRecord(1.0, "A", 2.0, value=3.5),
+               UpdateRecord(20.0, "B", 1.5, value=4.5)]
+    return Trace(queries, updates, duration_ms=30.0, name="tiny")
+
+
+class TestRecords:
+    def test_query_record_validation(self):
+        with pytest.raises(ValueError):
+            QueryRecord(0.0, ("A",), 0.0)
+        with pytest.raises(ValueError):
+            QueryRecord(0.0, (), 5.0)
+
+    def test_update_record_validation(self):
+        with pytest.raises(ValueError):
+            UpdateRecord(0.0, "A", -1.0)
+
+    def test_records_frozen(self):
+        record = QueryRecord(0.0, ("A",), 5.0)
+        with pytest.raises(AttributeError):
+            record.exec_ms = 9.0  # type: ignore[misc]
+
+
+class TestTrace:
+    def test_sorted_on_construction(self):
+        trace = small_trace()
+        assert [q.arrival_ms for q in trace.queries] == [5.0, 10.0]
+        assert [u.arrival_ms for u in trace.updates] == [1.0, 20.0]
+
+    def test_stocks_union(self):
+        assert small_trace().stocks == {"A", "B", "C"}
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            Trace([], [], duration_ms=0.0)
+
+    def test_arrivals_outside_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([QueryRecord(50.0, ("A",), 5.0)], [], duration_ms=30.0)
+
+    def test_slice_prefix(self):
+        trace = small_trace()
+        prefix = trace.slice(8.0)
+        assert len(prefix.queries) == 1
+        assert len(prefix.updates) == 1
+        assert prefix.duration_ms == 8.0
+
+    def test_slice_bounds(self):
+        trace = small_trace()
+        with pytest.raises(ValueError):
+            trace.slice(0.0)
+        with pytest.raises(ValueError):
+            trace.slice(100.0)
+
+    def test_roundtrip_save_load(self, tmp_path):
+        trace = small_trace()
+        trace.save(tmp_path / "t")
+        loaded = Trace.load(tmp_path / "t")
+        assert loaded.name == trace.name
+        assert loaded.duration_ms == trace.duration_ms
+        assert loaded.queries == trace.queries
+        assert loaded.updates == trace.updates
+
+    def test_roundtrip_preserves_multi_item_reads(self, tmp_path):
+        trace = small_trace()
+        trace.save(tmp_path / "t")
+        loaded = Trace.load(tmp_path / "t")
+        assert loaded.queries[1].items == ("A", "B")
