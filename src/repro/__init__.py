@@ -17,6 +17,8 @@ The package layers:
   scheduler;
 * :mod:`repro.workload` — a synthetic Stock.com/NYSE trace generator;
 * :mod:`repro.metrics` — profit ledgers and run results;
+* :mod:`repro.faults` — deterministic fault injection (replica crashes,
+  update stalls, load spikes) for robustness experiments;
 * :mod:`repro.experiments` — one driver per table/figure of the paper.
 
 Quickstart::
@@ -31,6 +33,7 @@ Quickstart::
 
 from repro.db import Database, DatabaseServer, Query, ServerConfig, Update
 from repro.experiments import ExperimentConfig, run_simulation
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.metrics import ProfitLedger, SimulationResult
 from repro.qc import (CompositionMode, LinearProfit, PhasedQCFactory,
                       PiecewiseLinearProfit, QCFactory, QualityContract,
@@ -50,6 +53,9 @@ __all__ = [
     "Environment",
     "ExperimentConfig",
     "FIFOScheduler",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "LinearProfit",
     "PhasedQCFactory",
     "PiecewiseLinearProfit",

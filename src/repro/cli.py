@@ -15,15 +15,15 @@ import argparse
 import sys
 import typing
 
-from repro.experiments import (ABLATIONS, ExperimentConfig, fig1, fig5,
-                               fig6, fig7, fig8, fig9, fig10,
+from repro.experiments import (ABLATIONS, ExperimentConfig, fault_sweep,
+                               fig1, fig5, fig6, fig7, fig8, fig9, fig10,
                                format_series, format_table, run_simulation,
                                save_csv, table3, table4)
 from repro.qc.generator import QCFactory
 from repro.scheduling import make_scheduler
 
 EXPERIMENTS = ("fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-               "table3", "table4", "run", "ablation", "export")
+               "table3", "table4", "run", "ablation", "export", "faults")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +133,15 @@ def _cmd_fig10(config: ExperimentConfig, args) -> None:
                        title="Figure 10b - sensitivity to atom time tau"))
 
 
+def _cmd_faults(config: ExperimentConfig, args) -> None:
+    rows = fault_sweep(config)
+    print(format_table(rows,
+                       title="Robustness - profit retention under replica "
+                             "faults (2 hedged replicas, balanced QCs; "
+                             "mttf_s=inf rows are the fault-free "
+                             "baselines)"))
+
+
 def _cmd_table3(config: ExperimentConfig, args) -> None:
     rows = [{"parameter": k, "value": v} for k, v in table3(config)]
     print(format_table(rows, title="Table 3 - workload information"))
@@ -230,6 +239,7 @@ _EXPORTERS = {
 _HANDLERS = {
     "ablation": _cmd_ablation,
     "export": _cmd_export,
+    "faults": _cmd_faults,
     "fig1": _cmd_fig1,
     "fig5": _cmd_fig5,
     "fig6": _cmd_fig6,

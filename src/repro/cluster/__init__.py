@@ -2,17 +2,21 @@
 
 The paper's related work ([17], WebDB 2006) applies Quality Contracts to
 replica selection; this subpackage provides that deployment shape on top
-of the single-server substrate.
+of the single-server substrate, including the degraded-operation
+machinery (replica crash/recovery, failure-aware routing, query
+failover) that :mod:`repro.faults` exercises.
 """
 
 from .portal import ReplicaHandle, ReplicatedPortal
-from .routers import (LeastLoadedRouter, QCAwareRouter, RoundRobinRouter,
-                      Router)
+from .routers import (HedgedRouter, LeastLoadedRouter, NoHealthyReplica,
+                      QCAwareRouter, RoundRobinRouter, Router)
 from .runner import ClusterResult, run_cluster_simulation
 
 __all__ = [
     "ClusterResult",
+    "HedgedRouter",
     "LeastLoadedRouter",
+    "NoHealthyReplica",
     "QCAwareRouter",
     "ReplicaHandle",
     "ReplicatedPortal",

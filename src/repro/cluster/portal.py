@@ -10,6 +10,24 @@ update to every replica.  Queries are *routed*: a
 :class:`~repro.cluster.routers.Router` picks the replica that serves
 each one, and that replica's staleness is what the query observes.
 
+The portal is also where the cluster *degrades* instead of misbehaving
+when a :class:`~repro.faults.FaultInjector` crashes replicas:
+
+* a crashed replica stops receiving broadcasts and routed queries, and
+  every transaction in flight on it is stranded (fail-stop);
+* stranded **queries** enter the failover path: resubmission to a healthy
+  replica, hedged (immediate, to the pre-computed backup) when the router
+  provides one, otherwise with capped exponential-backoff retries.  A
+  failed-over query keeps its original arrival time and lifetime
+  deadline, so the crash's lost time is charged against its contract;
+* stranded and missed **updates** are logged per replica and replayed on
+  recovery — the replica rejoins *stale*, with the re-sync backlog
+  visible to QoD-aware routers, and catches up by executing it;
+* queries whose retries run out (or that are mid-retry when the run
+  ends) are accounted as ``queries_lost_crash`` — their contracts stay in
+  the ledger denominators, so crashes cost profit and never shrink the
+  totals they are measured against.
+
 The portal aggregates the per-replica ledgers into cluster-level profit
 percentages comparable with single-server results.
 """
@@ -20,13 +38,17 @@ import typing
 
 from repro.db.database import Database
 from repro.db.server import DatabaseServer, ServerConfig
-from repro.db.transactions import Query, Update
+from repro.db.transactions import Query, Transaction, TxnStatus, Update
 from repro.metrics.profit import ProfitLedger
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment
+from repro.sim.monitor import CounterSet
 from repro.sim.rng import StreamRegistry
 
-from .routers import Router, RoundRobinRouter
+from .routers import NoHealthyReplica, Router, RoundRobinRouter
+
+#: A missed broadcast, kept for recovery re-sync: (exec_ms, item, value).
+_MissedUpdate = tuple[float, str, float]
 
 
 class ReplicaHandle:
@@ -37,6 +59,17 @@ class ReplicaHandle:
         self.index = index
         self.server = server
         self.ledger = ledger
+        #: Health bit the routers consult; flipped by crash/recover.
+        self.up = True
+        #: Sim time of the current outage's start (None while up).
+        self.crashed_at: float | None = None
+        #: Number of crashes suffered so far.
+        self.crash_count = 0
+        #: Total time spent down (closed outages; finalize closes the
+        #: last one if the run ends mid-outage).
+        self.downtime_ms = 0.0
+        #: Broadcasts missed while down, replayed on recovery.
+        self.missed_updates: list[_MissedUpdate] = []
 
     def pending_queries(self) -> int:
         return self.server.scheduler.pending_queries()
@@ -45,7 +78,8 @@ class ReplicaHandle:
         return self.server.scheduler.pending_updates()
 
     def __repr__(self) -> str:
-        return (f"<ReplicaHandle #{self.index} "
+        state = "up" if self.up else "DOWN"
+        return (f"<ReplicaHandle #{self.index} {state} "
                 f"q={self.pending_queries()} u={self.pending_updates()}>")
 
 
@@ -56,11 +90,22 @@ class ReplicatedPortal:
                  scheduler_factory: typing.Callable[[], Scheduler],
                  streams: StreamRegistry,
                  router: Router | None = None,
-                 server_config: ServerConfig | None = None) -> None:
+                 server_config: ServerConfig | None = None,
+                 failover_retries: int = 6,
+                 failover_backoff_ms: float = 50.0) -> None:
         if n_replicas <= 0:
             raise ValueError("need at least one replica")
+        if failover_retries < 0:
+            raise ValueError(
+                f"failover_retries must be >= 0, got {failover_retries}")
+        if failover_backoff_ms <= 0:
+            raise ValueError(
+                f"failover_backoff_ms must be positive, "
+                f"got {failover_backoff_ms}")
         self.env = env
         self.router = router or RoundRobinRouter()
+        self.failover_retries = failover_retries
+        self.failover_backoff_ms = failover_backoff_ms
         self.replicas: list[ReplicaHandle] = []
         for index in range(n_replicas):
             ledger = ProfitLedger()
@@ -69,31 +114,187 @@ class ReplicatedPortal:
                 streams.spawn(f"replica-{index}"),
                 config=server_config)
             self.replicas.append(ReplicaHandle(index, server, ledger))
-        #: Queries routed per replica (for balance inspection).
+        #: Queries routed per replica (for balance inspection); failover
+        #: resubmissions count as fresh routing decisions.
         self.routed_counts = [0] * n_replicas
+        #: Portal-level robustness counters (crashes, failovers, ...),
+        #: merged with the per-replica ledgers by :meth:`counters`.
+        self.fault_counters = CounterSet()
+        #: Queries currently waiting in a failover retry loop, mapped to
+        #: the ledger holding their contract's maxima.
+        self._retrying: dict[Query, ProfitLedger] = {}
+        #: Pre-computed hedge backups (txn_id -> replica index), kept
+        #: only when the router nominates backups (HedgedRouter).
+        self._backups: dict[int, int] = {}
 
     def __repr__(self) -> str:
-        return (f"<ReplicatedPortal n={len(self.replicas)} "
+        up = sum(1 for r in self.replicas if r.up)
+        return (f"<ReplicatedPortal n={len(self.replicas)} up={up} "
                 f"router={self.router.name}>")
 
     # ------------------------------------------------------------------
+    # Arrivals
+    # ------------------------------------------------------------------
     def submit_query(self, query: Query) -> int:
-        """Route and submit; returns the serving replica's index."""
-        index = self.router.choose(query, self.replicas)
+        """Route and submit; returns the serving replica's index.
+
+        When every replica is down the query is not bounced: its contract
+        is priced into the intake ledger (replica 0's — the denominators
+        must see every submitted contract exactly once) and it enters the
+        failover retry loop, hoping for a recovery within its lifetime.
+        Returns ``-1`` in that case.
+        """
+        try:
+            index = self.router.choose(query, self.replicas)
+        except NoHealthyReplica:
+            self.replicas[0].ledger.on_query_submitted(query, self.env.now)
+            self.fault_counters.increment("queries_stranded_arrival")
+            self._start_failover(query, self.replicas[0].ledger,
+                                 backup_index=None)
+            return -1
         if not 0 <= index < len(self.replicas):
             raise ValueError(f"router chose invalid replica {index}")
+        handle = self.replicas[index]
+        if not handle.up:
+            raise ValueError(f"router chose dead replica {index}")
         self.routed_counts[index] += 1
-        self.replicas[index].server.submit_query(query)
+        handle.server.submit_query(query)
+        if query.alive:  # not rejected by admission control
+            self._remember_backup(query, index)
         return index
 
     def broadcast_update(self, arrival_time: float, exec_ms: float,
                          item: str, value: float) -> None:
-        """Every replica gets its own copy of the update."""
+        """Every live replica gets its own copy of the update; dead
+        replicas log it for re-sync at recovery."""
         for replica in self.replicas:
-            replica.server.submit_update(
-                Update(arrival_time, exec_ms, item, value=value))
+            if replica.up:
+                replica.server.submit_update(
+                    Update(arrival_time, exec_ms, item, value=value))
+            else:
+                replica.missed_updates.append((exec_ms, item, value))
 
+    # ------------------------------------------------------------------
+    # Replica lifecycle (driven by the fault injector)
+    # ------------------------------------------------------------------
+    def crash_replica(self, index: int) -> None:
+        """Fail-stop ``index``: strand its in-flight work (idempotent)."""
+        handle = self.replicas[index]
+        if not handle.up:
+            return
+        handle.up = False
+        handle.crashed_at = self.env.now
+        handle.crash_count += 1
+        self.fault_counters.increment("replica_crashes")
+        for txn in handle.server.crash():
+            if txn.is_query:
+                self.fault_counters.increment("queries_failed_over")
+                self._start_failover(
+                    typing.cast(Query, txn), handle.ledger,
+                    backup_index=self._backups.pop(txn.txn_id, None))
+            else:
+                self._lose_update(typing.cast(Update, txn), handle)
+
+    def recover_replica(self, index: int) -> None:
+        """Repair ``index``: rejoin stale, then catch up (idempotent).
+
+        The replica's database kept its pre-crash contents; the broadcasts
+        it missed are replayed now in arrival order (the register table
+        collapses per-item duplicates), so it rejoins with a visible
+        re-sync backlog and works it off under its own scheduler.
+        """
+        handle = self.replicas[index]
+        if handle.up:
+            return
+        now = self.env.now
+        handle.up = True
+        handle.downtime_ms += now - typing.cast(float, handle.crashed_at)
+        handle.crashed_at = None
+        self.fault_counters.increment("replica_recoveries")
+        handle.server.recover()
+        missed, handle.missed_updates = handle.missed_updates, []
+        for exec_ms, item, value in missed:
+            handle.server.submit_update(
+                Update(now, exec_ms, item, value=value))
+            self.fault_counters.increment("updates_resynced")
+
+    def _lose_update(self, update: Update, handle: ReplicaHandle) -> None:
+        """An in-flight update died with its replica; the source is
+        durable, so it is queued for re-push at recovery."""
+        update.status = TxnStatus.LOST_CRASH
+        update.finish_time = self.env.now
+        self.fault_counters.increment("updates_lost_crash")
+        handle.missed_updates.append(
+            (update.exec_time, update.item, update.value))
+
+    # ------------------------------------------------------------------
+    # Query failover
+    # ------------------------------------------------------------------
+    def _remember_backup(self, query: Query, primary: int) -> None:
+        choose_backup = getattr(self.router, "choose_backup", None)
+        if choose_backup is None:
+            return
+        backup = choose_backup(query, self.replicas, primary)
+        if backup is not None:
+            self._backups[query.txn_id] = backup
+        else:
+            self._backups.pop(query.txn_id, None)
+
+    def _start_failover(self, query: Query, ledger: ProfitLedger,
+                        backup_index: int | None) -> None:
+        query.status = TxnStatus.CREATED  # between servers again
+        self._retrying[query] = ledger
+        self.env.process(self._failover(query, ledger, backup_index),
+                         name=f"failover-{query.txn_id}")
+
+    def _failover(self, query: Query, ledger: ProfitLedger,
+                  backup_index: int | None):
+        # Hedge: the router pre-nominated a backup — resubmit immediately.
+        if backup_index is not None and self.replicas[backup_index].up:
+            self._adopt(query, backup_index)
+            return
+        for attempt in range(self.failover_retries):
+            yield self.env.timeout(
+                self.failover_backoff_ms * (2.0 ** attempt))
+            if query.past_lifetime(self.env.now):
+                break  # the crash ate the contract's whole lifetime
+            try:
+                index = self.router.choose(query, self.replicas)
+            except NoHealthyReplica:
+                continue
+            self._adopt(query, index)
+            return
+        self._lose_query(query, ledger)
+
+    def _adopt(self, query: Query, index: int) -> None:
+        """Resubmit a stranded query to replica ``index``."""
+        if query.remaining != query.exec_time:
+            query.reset_for_restart()  # partial work died with the crash
+        del self._retrying[query]
+        self.routed_counts[index] += 1
+        self.fault_counters.increment("query_retries")
+        self.replicas[index].server.adopt_query(query)
+        if query.alive:
+            self._remember_backup(query, index)
+
+    def _lose_query(self, query: Query, ledger: ProfitLedger) -> None:
+        del self._retrying[query]
+        self._backups.pop(query.txn_id, None)
+        query.status = TxnStatus.LOST_CRASH
+        query.finish_time = self.env.now
+        ledger.on_query_lost_to_crash(query, self.env.now)
+
+    # ------------------------------------------------------------------
     def finalize(self) -> None:
+        now = self.env.now
+        for replica in self.replicas:
+            if not replica.up and replica.crashed_at is not None:
+                replica.downtime_ms += now - replica.crashed_at
+                replica.crashed_at = now  # keep a second finalize additive
+        # Queries parked in a backoff when the horizon hit: lost, not
+        # vanished — their contracts stay in the denominators.
+        for query, ledger in list(self._retrying.items()):
+            self._lose_query(query, ledger)
         for replica in self.replicas:
             replica.server.finalize()
 
@@ -127,6 +328,17 @@ class ReplicatedPortal:
             return 0.0
         return sum(r.ledger.qod_gained for r in self.replicas) / total_max
 
+    @property
+    def total_downtime_ms(self) -> float:
+        """Replica-milliseconds of unavailability accrued so far."""
+        now = self.env.now
+        total = 0.0
+        for replica in self.replicas:
+            total += replica.downtime_ms
+            if not replica.up and replica.crashed_at is not None:
+                total += now - replica.crashed_at
+        return total
+
     def mean_response_time(self) -> float:
         """Committed-query mean over the whole cluster."""
         count = sum(r.ledger.response_time.count for r in self.replicas)
@@ -136,7 +348,7 @@ class ReplicatedPortal:
                    for r in self.replicas) / count
 
     def counters(self) -> dict[str, int]:
-        combined: dict[str, int] = {}
+        combined: dict[str, int] = dict(self.fault_counters.as_dict())
         for replica in self.replicas:
             for key, value in replica.ledger.counters.as_dict().items():
                 combined[key] = combined.get(key, 0) + value

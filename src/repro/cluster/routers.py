@@ -10,10 +10,17 @@ routed by what its contract values.
   pending queries (classic load balancing, QoS-oriented);
 * :class:`QCAwareRouter` — read the contract: QoD-leaning queries go to
   the *freshest* replica (fewest pending updates), QoS-leaning queries to
-  the least query-loaded one.
+  the least query-loaded one;
+* :class:`HedgedRouter` — wraps another router and additionally nominates
+  a *backup* replica per query; the portal's failover path resubmits a
+  query stranded by a crash to its backup immediately (no backoff).
 
-Routers see only cheap aggregate state (queue lengths), mirroring what a
-front-end dispatcher could realistically know.
+Routers see only cheap aggregate state (queue lengths plus the up/down
+health bit), mirroring what a front-end dispatcher could realistically
+know.  **Every** router is failure-aware: a replica that is down is never
+chosen, and routing with zero healthy replicas raises
+:class:`NoHealthyReplica` (the portal turns that into retry-with-backoff
+rather than an error).
 """
 
 from __future__ import annotations
@@ -26,6 +33,16 @@ if typing.TYPE_CHECKING:  # pragma: no cover
     from .portal import ReplicaHandle
 
 
+class NoHealthyReplica(RuntimeError):
+    """Raised when a router must choose but every replica is down."""
+
+
+def _is_up(replica) -> bool:
+    # Health is an optional attribute so that plain stand-ins (tests,
+    # other deployment shapes) without a lifecycle still route.
+    return getattr(replica, "up", True)
+
+
 class Router:
     """Chooses the replica that will serve an incoming query."""
 
@@ -33,12 +50,25 @@ class Router:
 
     def choose(self, query: Query,
                replicas: "typing.Sequence[ReplicaHandle]") -> int:
-        """Index of the chosen replica."""
+        """Index of the chosen replica (never a dead one)."""
         raise NotImplementedError
+
+    @staticmethod
+    def healthy_indices(replicas) -> list[int]:
+        """Indices of the replicas that are up; raises when none are."""
+        healthy = [i for i, replica in enumerate(replicas)
+                   if _is_up(replica)]
+        if not healthy:
+            raise NoHealthyReplica("all replicas are down")
+        return healthy
 
 
 class RoundRobinRouter(Router):
-    """Cycle through replicas regardless of contracts or load."""
+    """Cycle through replicas regardless of contracts or load.
+
+    Dead replicas are skipped; the cycle position advances past the chosen
+    replica, so the healthy subset is still visited evenly.
+    """
 
     name = "round-robin"
 
@@ -46,9 +76,13 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def choose(self, query: Query, replicas) -> int:
-        index = self._next % len(replicas)
-        self._next += 1
-        return index
+        n = len(replicas)
+        for offset in range(n):
+            index = (self._next + offset) % n
+            if _is_up(replicas[index]):
+                self._next = index + 1
+                return index
+        raise NoHealthyReplica("all replicas are down")
 
 
 class LeastLoadedRouter(Router):
@@ -57,7 +91,7 @@ class LeastLoadedRouter(Router):
     name = "least-loaded"
 
     def choose(self, query: Query, replicas) -> int:
-        return min(range(len(replicas)),
+        return min(self.healthy_indices(replicas),
                    key=lambda i: (replicas[i].pending_queries(), i))
 
 
@@ -68,6 +102,10 @@ class QCAwareRouter(Router):
     is freshness-critical: send it to the replica with the smallest
     update backlog.  Everything else is latency-critical: send it to the
     replica with the fewest pending queries.
+
+    Both views naturally penalise a replica that just recovered from a
+    crash: it rejoins with the re-sync backlog queued, so freshness-
+    critical queries avoid it until it has caught up.
     """
 
     name = "qc-aware"
@@ -78,10 +116,41 @@ class QCAwareRouter(Router):
         self.qod_threshold = qod_threshold
 
     def choose(self, query: Query, replicas) -> int:
+        healthy = self.healthy_indices(replicas)
         total = query.qc.total_max
         qod_share = query.qc.qod_max / total if total > 0 else 0.0
         if qod_share >= self.qod_threshold:
-            return min(range(len(replicas)),
+            return min(healthy,
                        key=lambda i: (replicas[i].pending_updates(), i))
-        return min(range(len(replicas)),
+        return min(healthy,
+                   key=lambda i: (replicas[i].pending_queries(), i))
+
+
+class HedgedRouter(Router):
+    """Primary choice by an inner router, plus a pre-computed backup.
+
+    The hedge pays off when the primary crashes while the query is in
+    flight: the portal resubmits the stranded query to the backup
+    *immediately*, skipping the first backoff period of the generic
+    failover path.  The backup is the least query-loaded healthy replica
+    other than the primary (``None`` when the primary is the only healthy
+    replica — then only backoff retries remain).
+    """
+
+    name = "hedged"
+
+    def __init__(self, inner: Router | None = None) -> None:
+        self.inner = inner or QCAwareRouter()
+        self.name = f"hedged({self.inner.name})"
+
+    def choose(self, query: Query, replicas) -> int:
+        return self.inner.choose(query, replicas)
+
+    def choose_backup(self, query: Query, replicas,
+                      primary: int) -> int | None:
+        alternatives = [i for i in range(len(replicas))
+                        if i != primary and _is_up(replicas[i])]
+        if not alternatives:
+            return None
+        return min(alternatives,
                    key=lambda i: (replicas[i].pending_queries(), i))

@@ -1,4 +1,4 @@
-"""Replay a trace against a replicated portal."""
+"""Replay a trace against a replicated portal, optionally under faults."""
 
 from __future__ import annotations
 
@@ -6,6 +6,8 @@ import typing
 
 from repro.db.server import ServerConfig
 from repro.db.transactions import Query
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.qc.contracts import QualityContract
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment
@@ -30,11 +32,33 @@ class ClusterResult:
         self.counters = portal.counters()
         self.routed_counts = list(portal.routed_counts)
         self.replica_ledgers = [r.ledger for r in portal.replicas]
+        #: Robustness telemetry (all zero on fault-free runs).
+        self.fault_counters = portal.fault_counters.as_dict()
+        self.downtime_ms = portal.total_downtime_ms
+        self.crash_counts = [r.crash_count for r in portal.replicas]
+
+    @property
+    def availability(self) -> float:
+        """Fraction of replica-time the cluster's replicas were up."""
+        span = self.duration * self.n_replicas
+        if span <= 0:
+            return 1.0
+        return 1.0 - min(1.0, self.downtime_ms / span)
 
     def __repr__(self) -> str:
         return (f"<ClusterResult n={self.n_replicas} "
                 f"router={self.router_name} "
-                f"Q%={self.total_percent:.3f}>")
+                f"Q%={self.total_percent:.3f} "
+                f"avail={self.availability:.3f}>")
+
+
+def _check_monotonic(kind: str, arrival_ms: float, previous: float,
+                     index: int) -> None:
+    if arrival_ms < previous:
+        raise ValueError(
+            f"malformed trace: {kind} #{index} arrives at "
+            f"{arrival_ms:.3f} ms, before the previous {kind} at "
+            f"{previous:.3f} ms — arrival times must be non-decreasing")
 
 
 def run_cluster_simulation(n_replicas: int,
@@ -46,6 +70,9 @@ def run_cluster_simulation(n_replicas: int,
                            master_seed: int = 0,
                            drain_ms: float = 30_000.0,
                            server_config: ServerConfig | None = None,
+                           fault_plan: FaultPlan | None = None,
+                           failover_retries: int = 6,
+                           failover_backoff_ms: float = 50.0,
                            ) -> ClusterResult:
     """Replay ``trace`` against ``n_replicas`` servers behind ``router``.
 
@@ -53,27 +80,56 @@ def run_cluster_simulation(n_replicas: int,
     Contracts are drawn exactly as in the single-server runner, so
     cluster results are directly comparable with
     :func:`repro.experiments.run_simulation` on the same trace.
+
+    ``fault_plan`` schedules failures (replica crashes, update-source
+    stalls, query spikes) via a :class:`~repro.faults.FaultInjector`.
+    A ``FaultPlan.none()`` plan is bit-identical to no plan at all: the
+    injector draws nothing and perturbs no stream, so fault-free runs
+    reproduce the fault-less results exactly.
+
+    Traces are validated on the fly: non-monotonic arrival times raise
+    :class:`ValueError` instead of being silently replayed with zero
+    delay (which would corrupt every rate-derived statistic).
     """
     env = Environment()
     streams = StreamRegistry(master_seed)
     portal = ReplicatedPortal(env, n_replicas, scheduler_factory, streams,
-                              router=router, server_config=server_config)
+                              router=router, server_config=server_config,
+                              failover_retries=failover_retries,
+                              failover_backoff_ms=failover_backoff_ms)
+    injector = (FaultInjector(env, fault_plan, portal)
+                if fault_plan is not None else None)
     qc_rng = streams.stream("qc.sampler")
 
     def query_source(env):
-        for record in trace.queries:
+        previous = 0.0
+        for i, record in enumerate(trace.queries):
+            _check_monotonic("query", record.arrival_ms, previous, i)
+            previous = record.arrival_ms
             delay = record.arrival_ms - env.now
             if delay > 0:
                 yield env.timeout(delay)
             contract: QualityContract = qc_source.sample(qc_rng, env.now)
             portal.submit_query(Query(env.now, record.exec_ms,
                                       record.items, contract))
+            if injector is not None:
+                # Load spike: the flash crowd repeats the trace's demand.
+                for _ in range(injector.extra_query_copies()):
+                    portal.submit_query(Query(env.now, record.exec_ms,
+                                              record.items, contract))
 
     def update_source(env):
-        for record in trace.updates:
+        previous = 0.0
+        for i, record in enumerate(trace.updates):
+            _check_monotonic("update", record.arrival_ms, previous, i)
+            previous = record.arrival_ms
             delay = record.arrival_ms - env.now
             if delay > 0:
                 yield env.timeout(delay)
+            if injector is not None:
+                # A stalled source parks here; on resume the backlog
+                # (this and any overdue updates) bursts out at once.
+                yield from injector.update_gate()
             portal.broadcast_update(env.now, record.exec_ms, record.item,
                                     record.value)
 

@@ -1,7 +1,8 @@
 """Main-memory web-database substrate: items, register table, 2PL-HP locks,
 and the preemptive single-CPU server."""
 
-from .admission import AdmissionPolicy, AdmitAll, ProfitAwareAdmission
+from .admission import (AdmissionPolicy, AdmitAll, OverloadShedding,
+                        ProfitAwareAdmission)
 from .database import Database
 from .items import DataItem
 from .locks import (AcquireOutcome, AcquireResult, LockManager, LockMode)
@@ -14,6 +15,7 @@ __all__ = [
     "AcquireResult",
     "AdmissionPolicy",
     "AdmitAll",
+    "OverloadShedding",
     "ProfitAwareAdmission",
     "DataItem",
     "Database",

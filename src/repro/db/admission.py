@@ -8,14 +8,18 @@ query plus a cheap view of the server's state and may reject it outright
 (the user gets an immediate "try later" instead of a silently worthless
 answer, and the server sheds the load).
 
-Two policies are provided:
+Three policies are provided:
 
 * :class:`AdmitAll` — the paper's behaviour (default);
 * :class:`ProfitAwareAdmission` — rejects a query when the backlog of
   queued query work already exceeds the point where the newcomer could
   earn any QoS profit *and* its potential QoD profit is not worth the
   added load (a cheap, conservative estimate: queued service time ahead
-  of it vs its ``rtmax``).
+  of it vs its ``rtmax``);
+* :class:`OverloadShedding` — graceful degradation under overload: a
+  backlog watermark flips the server into a *shedding* mode that rejects
+  the lowest-value contracts first, and hysteresis (a lower watermark to
+  leave the mode) keeps it from flapping at the boundary.
 
 Rejected queries are profit-neutral: their maxima are *not* added to the
 ledger denominators (the contract was declined, not broken), and they are
@@ -91,3 +95,90 @@ class ProfitAwareAdmission(AdmissionPolicy):
         if total <= 0:
             return False
         return query.qc.qod_max / total >= self.qod_weight
+
+
+class OverloadShedding(AdmissionPolicy):
+    """Watermark-triggered load shedding with hysteresis.
+
+    The policy watches the query backlog.  When it climbs past
+    ``high_watermark`` pending queries the server enters *shedding* mode;
+    it leaves again only once the backlog has drained to
+    ``low_watermark`` (two watermarks = hysteresis, so a backlog
+    oscillating around one threshold cannot flap the mode on and off).
+
+    While shedding, the lowest-value contracts are rejected first: a
+    query is shed when its ``total_max`` falls below the
+    ``shed_quantile``-quantile of the most recent ``window`` contract
+    values seen (a cheap running sketch of the value distribution — the
+    arrival stream cannot be sorted, so "lowest first" is approximated
+    against what the recent past looked like).  High-value contracts are
+    served even at the height of the overload; the shed mass is the
+    cheap tail, which is exactly the graceful half of "degrade
+    gracefully".
+
+    Rejections made while shedding are counted under ``queries_shed`` on
+    top of the generic ``queries_rejected`` (see
+    :meth:`repro.metrics.profit.ProfitLedger.on_query_rejected`).
+    """
+
+    name = "overload-shedding"
+
+    def __init__(self, high_watermark: int = 150,
+                 low_watermark: int = 75,
+                 shed_quantile: float = 0.5,
+                 window: int = 128) -> None:
+        if high_watermark <= 0:
+            raise ValueError(
+                f"high_watermark must be positive, got {high_watermark}")
+        if not 0 <= low_watermark < high_watermark:
+            raise ValueError(
+                f"need 0 <= low_watermark < high_watermark, got "
+                f"{low_watermark} / {high_watermark}")
+        if not 0.0 <= shed_quantile <= 1.0:
+            raise ValueError(
+                f"shed_quantile must be in [0, 1], got {shed_quantile}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.shed_quantile = shed_quantile
+        self.window = window
+        self._recent_values: list[float] = []
+        self._recent_pos = 0
+        self._shedding = False
+        #: Mode flips, for telemetry: (entered, left).
+        self.mode_changes = [0, 0]
+
+    @property
+    def is_shedding(self) -> bool:
+        """True while the server is between the watermarks' hysteresis."""
+        return self._shedding
+
+    def _observe(self, value: float) -> None:
+        if len(self._recent_values) < self.window:
+            self._recent_values.append(value)
+        else:  # ring buffer: overwrite the oldest
+            self._recent_values[self._recent_pos] = value
+            self._recent_pos = (self._recent_pos + 1) % self.window
+
+    def _value_threshold(self) -> float:
+        ordered = sorted(self._recent_values)
+        if not ordered:
+            return 0.0
+        index = min(len(ordered) - 1,
+                    int(self.shed_quantile * len(ordered)))
+        return ordered[index]
+
+    def admit(self, query: Query, server: "DatabaseServer") -> bool:
+        backlog = server.scheduler.pending_queries()
+        if not self._shedding and backlog >= self.high_watermark:
+            self._shedding = True
+            self.mode_changes[0] += 1
+        elif self._shedding and backlog <= self.low_watermark:
+            self._shedding = False
+            self.mode_changes[1] += 1
+        value = query.qc.total_max
+        self._observe(value)
+        if not self._shedding:
+            return True
+        return value >= self._value_threshold()

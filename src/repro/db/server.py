@@ -71,6 +71,14 @@ class ServerConfig:
     queue_sample_every: float = 0.0
 
     def __post_init__(self) -> None:
+        if self.class_switch_overhead < 0:
+            raise ValueError(
+                f"class_switch_overhead must be >= 0, "
+                f"got {self.class_switch_overhead}")
+        if self.queue_sample_every < 0:
+            raise ValueError(
+                f"queue_sample_every must be >= 0, "
+                f"got {self.queue_sample_every}")
         if self.update_preemption not in ("restart", "suspend"):
             raise ValueError(
                 f"update_preemption must be 'restart' or 'suspend', "
@@ -99,6 +107,12 @@ class _Superseded:
         self.victim = victim
 
 
+class _Crashed:
+    """Interrupt cause: the server fail-stopped under the running txn."""
+
+    __slots__ = ()
+
+
 class DatabaseServer:
     """Single-CPU transaction executor driven by a pluggable scheduler."""
 
@@ -122,6 +136,10 @@ class DatabaseServer:
         self._running: Transaction | None = None
         self._last_class: str | None = None
         self._idle_wakeup = None  # type: ignore[assignment]
+        #: Fail-stop state: a crashed server executes nothing and refuses
+        #: arrivals until :meth:`recover` is called.
+        self._crashed = False
+        self._recover_event = None  # type: ignore[assignment]
         #: Transactions blocked on locks, with the holders they wait for.
         self._blocked: dict[Transaction, frozenset[str]] = {}
 
@@ -144,19 +162,40 @@ class DatabaseServer:
         query never enters the ledger's denominators (the contract was
         declined, not broken).
         """
+        self._check_up()
         if self.admission is not None and not self.admission.admit(
                 query, self):
             query.status = TxnStatus.REJECTED
             query.finish_time = self.env.now
-            self.ledger.counters.increment("queries_rejected")
+            self.ledger.on_query_rejected(
+                query, self.env.now,
+                shed=getattr(self.admission, "is_shedding", False))
             return
         query.status = TxnStatus.QUEUED
         self.ledger.on_query_submitted(query, self.env.now)
         self.scheduler.submit_query(query)
         self._on_arrival(query)
 
+    def adopt_query(self, query: Query) -> None:
+        """Enqueue a query whose contract is already priced elsewhere.
+
+        The failover path of :class:`~repro.cluster.portal.ReplicatedPortal`
+        uses this to move a query stranded on a crashed replica here: the
+        contract's maxima stay in the *original* replica's ledger (the
+        contract was submitted exactly once), while whatever profit the
+        query still earns is credited to this server's ledger at commit.
+        Cluster-level sums therefore count each contract once on each side.
+        Admission control is bypassed — the query was already admitted.
+        """
+        self._check_up()
+        query.status = TxnStatus.QUEUED
+        self.ledger.counters.increment("queries_adopted")
+        self.scheduler.submit_query(query)
+        self._on_arrival(query)
+
     def submit_update(self, update: Update) -> None:
         """A blind update arrives from the external source."""
+        self._check_up()
         superseded = self.database.register_update(update, self.env.now)
         if superseded is not None:
             self.ledger.on_update_superseded(superseded, self.env.now)
@@ -182,6 +221,14 @@ class DatabaseServer:
     def _executor(self):
         env = self.env
         while True:
+            if self._crashed:
+                self._recover_event = env.event()
+                try:
+                    yield self._recover_event
+                except Interrupt:
+                    pass
+                self._recover_event = None
+                continue
             txn = self.scheduler.next_transaction(env.now)
             if txn is None:
                 self._idle_wakeup = env.event()
@@ -232,8 +279,11 @@ class DatabaseServer:
         try:
             yield self.env.timeout(self.config.class_switch_overhead)
         except Interrupt:
-            txn.status = TxnStatus.QUEUED
-            self.scheduler.requeue(txn)
+            if not self._crashed:
+                # On a crash the transaction was already stranded by
+                # crash(); requeueing it here would duplicate it.
+                txn.status = TxnStatus.QUEUED
+                self.scheduler.requeue(txn)
             return True
         finally:
             self._running = None
@@ -277,6 +327,15 @@ class DatabaseServer:
     def _handle_interrupt(self, txn: Transaction, cause: object) -> str:
         """React to an interrupt while ``txn`` runs; returns "continue" to
         keep running or "stop" to leave the run loop."""
+        if self._crashed:
+            # A pre-crash interrupt (e.g. a preemption raised at the same
+            # instant) delivered after the fail-stop: the transaction is
+            # stranded already, so never requeue it.
+            return "stop"
+        if isinstance(cause, _Crashed):
+            # Fail-stop: crash() already stranded the transaction and
+            # released its locks; just vacate the CPU.
+            return "stop"
         if isinstance(cause, _Superseded):
             if cause.victim is txn:
                 # Our work is moot; locks were already released on register.
@@ -373,6 +432,66 @@ class DatabaseServer:
                 self.scheduler.requeue(txn)
         if self._idle_wakeup is not None and not self._idle_wakeup.triggered:
             self._idle_wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    # Fail-stop crash / recovery (driven by the portal / fault injector)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def _check_up(self) -> None:
+        if self._crashed:
+            raise RuntimeError(
+                "server is crashed; a dead replica receives no work "
+                "(the portal must gate routing and broadcasts)")
+
+    def crash(self) -> list[Transaction]:
+        """Fail-stop: drop every piece of in-flight work.
+
+        Returns the live transactions that were stranded — queued, blocked,
+        and running alike.  The caller (the portal's failover path) decides
+        their fate: queries can be retried on surviving replicas, updates
+        are lost and must be re-synced on recovery.  All locks are released
+        and the executor parks until :meth:`recover`; progress of the
+        running transaction is lost (its partial slice dies with the CPU).
+        """
+        if self._crashed:
+            return []
+        self._crashed = True
+        stranded: list[Transaction] = []
+        running = self._running
+        if running is not None and running.alive:
+            stranded.append(running)
+        while True:
+            txn = self.scheduler.next_transaction(self.env.now)
+            if txn is None:
+                break
+            if txn.alive:
+                stranded.append(txn)
+        stranded.extend(txn for txn in self._blocked if txn.alive)
+        self._blocked.clear()
+        for txn in stranded:
+            self.locks.release_all(txn)
+        self._last_class = None
+        if running is not None:
+            self._proc.interrupt(_Crashed())
+        return stranded
+
+    def recover(self) -> None:
+        """Bring a crashed server back up (empty queues, stale replica).
+
+        The database keeps its pre-crash contents — a rejoining replica is
+        *stale*, not blank — and the portal re-syncs it by replaying the
+        broadcasts it missed while down.
+        """
+        if not self._crashed:
+            return
+        self._crashed = False
+        self._last_class = None
+        if (self._recover_event is not None
+                and not self._recover_event.triggered):
+            self._recover_event.succeed()
 
     # ------------------------------------------------------------------
     # End-of-run accounting

@@ -45,6 +45,9 @@ class TxnStatus(enum.Enum):
     #: Update only: superseded by a newer update on the same item (the
     #: write-write rule of 2PL-HP / the update register table).
     DROPPED_SUPERSEDED = "dropped_superseded"
+    #: Died with a crashed replica: an update whose copy was in flight on
+    #: the crashed server, or a query whose failover retries ran out.
+    LOST_CRASH = "lost_crash"
     #: Left in the system when the simulation horizon ended.
     UNFINISHED = "unfinished"
 

@@ -5,6 +5,8 @@ from .ablations import (ABLATIONS, ablation_invalidation,
                         ablation_rho)
 from .config import (DEFAULT_SCALE, ExperimentConfig, POLICY_NAMES, SCALES,
                      chosen_scale, table4_grid, table4_rows)
+from .faults import (FAULT_MTTFS_MS, FAULT_MTTR_MS, FAULT_POLICIES,
+                     FAULT_REPLICAS, fault_sweep, sample_fault_plans)
 from .figures import (FIG9_PHASE_MS, FIG9_RATIOS, FIG10_OMEGAS_MS,
                       FIG10_TAUS_MS, fig1, fig5, fig6, fig7, fig8, fig9,
                       fig10)
@@ -21,6 +23,10 @@ __all__ = [
     "ablation_preemption",
     "ablation_rho",
     "ExperimentConfig",
+    "FAULT_MTTFS_MS",
+    "FAULT_MTTR_MS",
+    "FAULT_POLICIES",
+    "FAULT_REPLICAS",
     "FIG10_OMEGAS_MS",
     "FIG10_TAUS_MS",
     "FIG9_PHASE_MS",
@@ -31,7 +37,9 @@ __all__ = [
     "SCALES",
     "chosen_scale",
     "compare_policies",
+    "fault_sweep",
     "replicate",
+    "sample_fault_plans",
     "fig1",
     "fig10",
     "fig5",

@@ -1,0 +1,33 @@
+"""Fault injection: deterministic failure schedules for robustness runs.
+
+The paper's system is infallible; production web-databases are not.  This
+subpackage adds the failure half of the robustness story:
+
+* :class:`FaultPlan` / :class:`FaultEvent` — scripted or sampled
+  (exponential MTTF/MTTR) schedules of replica crashes, update-source
+  stalls, and query load spikes;
+* :class:`FaultInjector` — a simulation process replaying a plan against a
+  :class:`~repro.cluster.portal.ReplicatedPortal`.
+
+Degraded-operation machinery lives with the components it degrades:
+replica crash/recovery in :mod:`repro.cluster.portal`, failure-aware
+routing and failover in :mod:`repro.cluster`, overload shedding in
+:mod:`repro.db.admission`.
+"""
+
+from .injector import FaultInjector
+from .plan import (CRASH, KINDS, RECOVER, RESUME_UPDATES, SPIKE_END,
+                   SPIKE_START, STALL_UPDATES, FaultEvent, FaultPlan)
+
+__all__ = [
+    "CRASH",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "KINDS",
+    "RECOVER",
+    "RESUME_UPDATES",
+    "SPIKE_END",
+    "SPIKE_START",
+    "STALL_UPDATES",
+]

@@ -1,0 +1,111 @@
+"""The fault injector: replays a :class:`FaultPlan` on the sim clock.
+
+The injector is a plain simulation process.  It walks the plan's events in
+time order and, at each event's instant:
+
+* ``crash`` / ``recover`` — calls
+  :meth:`~repro.cluster.portal.ReplicatedPortal.crash_replica` /
+  :meth:`~repro.cluster.portal.ReplicatedPortal.recover_replica` on the
+  attached portal (both are idempotent, so merged plans that double-crash
+  a replica are harmless);
+* ``stall_updates`` / ``resume_updates`` — flips a gate the cluster
+  runner's update source waits on.  While stalled, the source is parked;
+  on resume every withheld update is delivered in one burst at the resume
+  instant (the source replays its backlog with zero inter-arrival delay);
+* ``spike_start`` / ``spike_end`` — sets the query multiplier the runner
+  consults: during a spike of magnitude *m*, each trace query is submitted
+  *m* times (clones share the original's contract), modelling a flash
+  crowd on top of the recorded trace.
+
+With an empty plan the injector does nothing and a run with it attached is
+bit-identical to a run without it (the determinism contract extends to
+fault schedules).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import Environment, Event
+
+from .plan import (CRASH, RECOVER, RESUME_UPDATES, SPIKE_END, SPIKE_START,
+                   STALL_UPDATES, FaultPlan)
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.portal import ReplicatedPortal
+
+
+class FaultInjector:
+    """Schedules a plan's fault events against a replicated portal."""
+
+    def __init__(self, env: Environment, plan: FaultPlan,
+                 portal: "ReplicatedPortal") -> None:
+        if plan.max_replica >= len(portal.replicas):
+            raise ValueError(
+                f"plan targets replica {plan.max_replica} but the portal "
+                f"has only {len(portal.replicas)} replicas")
+        self.env = env
+        self.plan = plan
+        self.portal = portal
+        #: Events fired so far, by kind (inspection/reporting).
+        self.fired: dict[str, int] = {}
+        self._stall_released: Event | None = None
+        self._spike_multiplier = 1.0
+        if len(plan):
+            env.process(self._driver(), name="fault-injector")
+
+    def __repr__(self) -> str:
+        return (f"<FaultInjector t={self.env.now:.0f} "
+                f"fired={self.fired} plan={self.plan!r}>")
+
+    # ------------------------------------------------------------------
+    # State the runner's arrival sources consult
+    # ------------------------------------------------------------------
+    @property
+    def updates_stalled(self) -> bool:
+        return self._stall_released is not None
+
+    @property
+    def query_multiplier(self) -> float:
+        """Current load-spike multiplier (1.0 outside spike windows)."""
+        return self._spike_multiplier
+
+    def extra_query_copies(self) -> int:
+        """Clone count the runner submits on top of each trace query."""
+        return max(0, round(self._spike_multiplier) - 1)
+
+    def update_gate(self):
+        """Generator the update source yields from before each delivery;
+        parks the source while the update stream is stalled."""
+        while self._stall_released is not None:
+            yield self._stall_released
+
+    # ------------------------------------------------------------------
+    # The driver process
+    # ------------------------------------------------------------------
+    def _driver(self):
+        env = self.env
+        for event in self.plan:
+            delay = event.at_ms - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            self._fire(event)
+
+    def _fire(self, event) -> None:
+        self.fired[event.kind] = self.fired.get(event.kind, 0) + 1
+        if event.kind == CRASH:
+            self.portal.crash_replica(event.replica)
+        elif event.kind == RECOVER:
+            self.portal.recover_replica(event.replica)
+        elif event.kind == STALL_UPDATES:
+            if self._stall_released is None:
+                self._stall_released = self.env.event()
+        elif event.kind == RESUME_UPDATES:
+            released = self._stall_released
+            self._stall_released = None
+            if released is not None and not released.triggered:
+                released.succeed()
+        elif event.kind == SPIKE_START:
+            self._spike_multiplier = event.magnitude
+        elif event.kind == SPIKE_END:
+            self._spike_multiplier = 1.0

@@ -1,0 +1,171 @@
+"""Fault plans: deterministic schedules of failure events.
+
+A :class:`FaultPlan` is an immutable, time-ordered list of
+:class:`FaultEvent` records describing *what goes wrong and when* during a
+simulation run: replica crashes and recoveries, stalls and bursts of the
+external update source, and query load spikes.
+
+Plans are either **scripted** (explicit event lists, the reproducible unit
+tests use these) or **sampled** from failure models — exponential
+MTTF/MTTR crash/repair cycles — using the library's named
+:class:`~repro.sim.rng.RandomStream` machinery, so that a plan derived
+from a master seed is bit-identical across runs and across the policies it
+is used to compare.  Sampling happens *eagerly*: the returned plan is a
+plain scripted event list, which keeps the injector trivial and the
+schedule inspectable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.sim.rng import RandomStream
+
+#: Event kinds understood by the injector.
+CRASH = "crash"
+RECOVER = "recover"
+STALL_UPDATES = "stall_updates"
+RESUME_UPDATES = "resume_updates"
+SPIKE_START = "spike_start"
+SPIKE_END = "spike_end"
+
+KINDS = frozenset({CRASH, RECOVER, STALL_UPDATES, RESUME_UPDATES,
+                   SPIKE_START, SPIKE_END})
+
+#: Kinds that name a target replica.
+REPLICA_KINDS = frozenset({CRASH, RECOVER})
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` fires at ``at_ms`` on the sim clock.
+
+    ``replica`` is the target replica index for crash/recover events (and
+    must be ``None`` for the others).  ``magnitude`` is the query-rate
+    multiplier for ``spike_start`` events (ignored elsewhere).
+    """
+
+    at_ms: float
+    kind: str
+    replica: int | None = None
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {sorted(KINDS)}")
+        if self.at_ms < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at_ms}")
+        if self.kind in REPLICA_KINDS:
+            if self.replica is None or self.replica < 0:
+                raise ValueError(
+                    f"{self.kind!r} needs a non-negative replica index, "
+                    f"got {self.replica!r}")
+        elif self.replica is not None:
+            raise ValueError(f"{self.kind!r} does not target a replica")
+        if self.kind == SPIKE_START and self.magnitude < 1.0:
+            raise ValueError(
+                f"spike magnitude must be >= 1, got {self.magnitude}")
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of :class:`FaultEvent` records."""
+
+    def __init__(self, events: typing.Iterable[FaultEvent] = ()) -> None:
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.at_ms, e.kind)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> typing.Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:
+        kinds = {}
+        for event in self.events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        return f"<FaultPlan {len(self)} events {kinds}>"
+
+    @property
+    def max_replica(self) -> int:
+        """Highest replica index any event targets (-1 if none do)."""
+        targets = [e.replica for e in self.events if e.replica is not None]
+        return max(targets) if targets else -1
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """A new plan combining both schedules."""
+        return FaultPlan((*self.events, *other.events))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: injecting it must not change any result."""
+        return cls()
+
+    @classmethod
+    def scripted(cls, events: typing.Iterable[FaultEvent]) -> "FaultPlan":
+        return cls(events)
+
+    @classmethod
+    def replica_crash(cls, replica: int, at_ms: float,
+                      down_ms: float) -> "FaultPlan":
+        """One crash of ``replica`` at ``at_ms``, repaired ``down_ms``
+        later."""
+        if down_ms <= 0:
+            raise ValueError(f"down_ms must be positive, got {down_ms}")
+        return cls([FaultEvent(at_ms, CRASH, replica=replica),
+                    FaultEvent(at_ms + down_ms, RECOVER, replica=replica)])
+
+    @classmethod
+    def update_stall(cls, at_ms: float, duration_ms: float) -> "FaultPlan":
+        """The update source stalls at ``at_ms`` and bursts back after
+        ``duration_ms`` (all withheld updates arrive at once)."""
+        if duration_ms <= 0:
+            raise ValueError(
+                f"duration_ms must be positive, got {duration_ms}")
+        return cls([FaultEvent(at_ms, STALL_UPDATES),
+                    FaultEvent(at_ms + duration_ms, RESUME_UPDATES)])
+
+    @classmethod
+    def load_spike(cls, at_ms: float, duration_ms: float,
+                   magnitude: float = 2.0) -> "FaultPlan":
+        """Multiply the query arrival rate by ``magnitude`` for a window."""
+        if duration_ms <= 0:
+            raise ValueError(
+                f"duration_ms must be positive, got {duration_ms}")
+        return cls([FaultEvent(at_ms, SPIKE_START, magnitude=magnitude),
+                    FaultEvent(at_ms + duration_ms, SPIKE_END)])
+
+    @classmethod
+    def sample_mtbf(cls, rng: RandomStream, n_replicas: int,
+                    mttf_ms: float, mttr_ms: float,
+                    horizon_ms: float) -> "FaultPlan":
+        """Exponential crash/repair cycles for every replica.
+
+        Each replica independently alternates UP (exponential with mean
+        ``mttf_ms``) and DOWN (exponential with mean ``mttr_ms``) periods
+        until ``horizon_ms``.  Draws come from ``rng`` in replica order, so
+        the same stream produces the same plan — hand every policy under
+        comparison a plan sampled from an identically-seeded stream.
+        """
+        if n_replicas <= 0:
+            raise ValueError(f"n_replicas must be positive, got "
+                             f"{n_replicas}")
+        if horizon_ms <= 0:
+            raise ValueError(f"horizon_ms must be positive, got "
+                             f"{horizon_ms}")
+        events: list[FaultEvent] = []
+        for replica in range(n_replicas):
+            t = rng.exponential(mttf_ms)
+            while t < horizon_ms:
+                events.append(FaultEvent(t, CRASH, replica=replica))
+                t += rng.exponential(mttr_ms)
+                if t >= horizon_ms:
+                    break
+                events.append(FaultEvent(t, RECOVER, replica=replica))
+                t += rng.exponential(mttf_ms)
+        return cls(events)

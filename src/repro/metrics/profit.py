@@ -70,6 +70,27 @@ class ProfitLedger:
     def on_query_dropped(self, query: Query, now: float) -> None:
         self.counters.increment("queries_dropped_lifetime")
 
+    def on_query_rejected(self, query: Query, now: float,
+                          shed: bool = False) -> None:
+        """An admission policy declined the query before it entered.
+
+        ``shed=True`` marks rejections made while the policy was in
+        overload-shedding mode (graceful degradation), counted separately
+        so robustness reports can distinguish steady-state admission
+        control from emergency load shedding.
+        """
+        self.counters.increment("queries_rejected")
+        if shed:
+            self.counters.increment("queries_shed")
+
+    def on_query_lost_to_crash(self, query: Query, now: float) -> None:
+        """The query died with a crashed replica and exhausted its
+        failover retries (or the run ended mid-retry).  Its contract's
+        maxima stay in the denominators — the contract was broken, not
+        declined — so crashes show up as lost profit, never as silently
+        shrunk totals."""
+        self.counters.increment("queries_lost_crash")
+
     def on_query_unfinished(self, query: Query) -> None:
         self.counters.increment("queries_unfinished")
 

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.cluster import (LeastLoadedRouter, QCAwareRouter,
-                           ReplicatedPortal, RoundRobinRouter,
-                           run_cluster_simulation)
+from repro.cluster import (LeastLoadedRouter, NoHealthyReplica,
+                           QCAwareRouter, ReplicatedPortal,
+                           RoundRobinRouter, run_cluster_simulation)
 from repro.db.server import ServerConfig
 from repro.db.transactions import Query
 from repro.qc.contracts import QualityContract
@@ -30,6 +30,13 @@ class _FakeReplica:
 
     def pending_updates(self):
         return self._u
+
+
+class _DeadReplica(_FakeReplica):
+    up = False
+
+    def __init__(self):
+        super().__init__(0, 0)
 
 
 class TestRouters:
@@ -65,6 +72,27 @@ class TestRouters:
     def test_qc_aware_threshold_validation(self):
         with pytest.raises(ValueError):
             QCAwareRouter(qod_threshold=1.5)
+
+    @pytest.mark.parametrize("router_factory", [
+        RoundRobinRouter, LeastLoadedRouter, QCAwareRouter])
+    def test_single_replica_always_chosen(self, router_factory):
+        router = router_factory()
+        replicas = [_FakeReplica(3, 7)]
+        picks = [router.choose(step_query(), replicas) for __ in range(3)]
+        assert picks == [0, 0, 0]
+
+    @pytest.mark.parametrize("router_factory", [
+        RoundRobinRouter, LeastLoadedRouter, QCAwareRouter])
+    def test_all_dead_raises_no_healthy_replica(self, router_factory):
+        replicas = [_DeadReplica(), _DeadReplica()]
+        with pytest.raises(NoHealthyReplica):
+            router_factory().choose(step_query(), replicas)
+
+    def test_replicas_without_health_bit_treated_as_up(self):
+        # Plain stand-ins (no crash lifecycle) must keep routing.
+        router = LeastLoadedRouter()
+        replicas = [_FakeReplica(5, 0), _FakeReplica(1, 0)]
+        assert router.choose(step_query(), replicas) == 1
 
 
 class TestPortal:

@@ -1,0 +1,110 @@
+"""Property-based robustness invariants (any policy, any fault schedule).
+
+Whatever faults are injected and whichever scheduler runs, the system
+must degrade — never misbehave:
+
+* profit percentages stay in [0, 1];
+* the outcome counters balance: every submitted contract ends up
+  committed, lifetime-dropped, unfinished at the horizon, or lost to a
+  crash — queries never vanish from the ledger;
+* the router never returns an out-of-range or dead replica index.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import HedgedRouter, run_cluster_simulation
+from repro.faults import FaultEvent, FaultPlan
+from repro.faults.plan import (CRASH, RECOVER, SPIKE_END, SPIKE_START,
+                               STALL_UPDATES, RESUME_UPDATES)
+from repro.qc.generator import QCFactory
+from repro.scheduling import make_scheduler
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+
+DURATION_MS = 8_000.0
+TRACE = StockWorkloadGenerator(WorkloadSpec().scaled(DURATION_MS),
+                               master_seed=23).generate()
+
+
+class _VerifyingRouter(HedgedRouter):
+    """Asserts the failure-awareness contract on every routing decision."""
+
+    def __init__(self):
+        super().__init__()
+        self.checked = 0
+
+    def choose(self, query, replicas):
+        index = super().choose(query, replicas)
+        assert 0 <= index < len(replicas), index
+        assert replicas[index].up, f"routed to dead replica {index}"
+        self.checked += 1
+        return index
+
+
+def outage(spec):
+    replica, at_ms, down_ms = spec
+    return FaultPlan([FaultEvent(at_ms, CRASH, replica=replica),
+                      FaultEvent(at_ms + down_ms, RECOVER,
+                                 replica=replica)])
+
+
+times = st.floats(min_value=0.0, max_value=DURATION_MS,
+                  allow_nan=False, allow_infinity=False)
+durations = st.floats(min_value=50.0, max_value=6_000.0,
+                      allow_nan=False, allow_infinity=False)
+outages = st.tuples(st.integers(min_value=0, max_value=1), times,
+                    durations)
+
+
+@st.composite
+def fault_plans(draw):
+    plan = FaultPlan.none()
+    for spec in draw(st.lists(outages, max_size=3)):
+        plan = plan.merged(outage(spec))
+    if draw(st.booleans()):
+        plan = plan.merged(FaultPlan(
+            [FaultEvent(draw(times), STALL_UPDATES),
+             FaultEvent(draw(times) + DURATION_MS, RESUME_UPDATES)]))
+    if draw(st.booleans()):
+        at = draw(times)
+        plan = plan.merged(FaultPlan(
+            [FaultEvent(at, SPIKE_START,
+                        magnitude=draw(st.floats(min_value=1.0,
+                                                 max_value=3.0))),
+             FaultEvent(at + draw(durations), SPIKE_END)]))
+    return plan
+
+
+class TestFaultScheduleInvariants:
+    @given(plan=fault_plans(),
+           policy=st.sampled_from(("FIFO", "QUTS")))
+    @settings(max_examples=12, deadline=None)
+    def test_degrades_never_misbehaves(self, plan, policy):
+        router = _VerifyingRouter()
+        result = run_cluster_simulation(
+            2, lambda: make_scheduler(policy), TRACE,
+            QCFactory.balanced(), router=router, master_seed=1,
+            fault_plan=plan)
+
+        assert 0.0 <= result.total_percent <= 1.0
+        assert 0.0 <= result.qos_percent <= 1.0
+        assert 0.0 <= result.qod_percent <= 1.0
+        assert 0.0 <= result.availability <= 1.0
+
+        c = result.counters
+        assert c.get("queries_submitted", 0) == (
+            c.get("queries_committed", 0)
+            + c.get("queries_dropped_lifetime", 0)
+            + c.get("queries_unfinished", 0)
+            + c.get("queries_lost_crash", 0))
+        # At least every base trace query was priced into a ledger
+        # (spike clones only ever add on top).
+        assert c.get("queries_submitted", 0) \
+            + c.get("queries_rejected", 0) >= len(TRACE.queries)
+        # Failovers are retried or lost, never silently dropped.
+        assert c.get("query_retries", 0) + c.get("queries_lost_crash", 0) \
+            >= c.get("queries_failed_over", 0) \
+            + c.get("queries_stranded_arrival", 0) \
+            - c.get("queries_unfinished", 0)
+        assert router.checked > 0

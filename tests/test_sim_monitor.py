@@ -20,6 +20,22 @@ class TestTally:
         assert tally.mean == 0.0
         assert tally.variance == 0.0
 
+    def test_empty_tally_full_surface(self):
+        # Every statistic must be safe to read with zero observations —
+        # an idle replica's ledger is summarised just like a busy one's.
+        tally = Tally("idle")
+        assert tally.total == 0.0
+        assert tally.stdev == 0.0
+        assert tally.minimum == float("inf")
+        assert tally.maximum == float("-inf")
+        repr(tally)  # formatting must not choke on the infinities
+
+    def test_variance_zero_below_two_observations(self):
+        tally = Tally()
+        tally.observe(3.0)
+        assert tally.variance == 0.0
+        assert tally.stdev == 0.0
+
     def test_single_observation(self):
         tally = Tally()
         tally.observe(5.0)
@@ -55,6 +71,16 @@ class TestTimeSeries:
         series.record(5.0, 2.0)
         assert list(series.items()) == [(0.0, 1.0), (5.0, 2.0)]
         assert len(series) == 2
+
+    def test_empty_series(self):
+        series = TimeSeries("empty")
+        assert len(series) == 0
+        assert list(series.items()) == []
+        smoothed = series.moving_window_average(5.0)
+        assert len(smoothed) == 0
+        # With no samples and no explicit end, one empty bucket results.
+        buckets = series.bucket_sums(1_000.0)
+        assert list(buckets.values) == [0.0]
 
     def test_rejects_time_travel(self):
         series = TimeSeries()
