@@ -1,0 +1,66 @@
+"""Recovery-time benchmark: checkpoint interval vs. RPO/RTO.
+
+A 2-replica hedged deployment suffers a scripted portal-wide crash while
+every replica carries a write-ahead log with periodic crash-consistent
+checkpoints.  The sweep varies the checkpoint interval and records each
+incident's RPO (unflushed WAL records lost, in #uu) and RTO (ms from
+recovery to a drained re-sync backlog), per scheduling policy.  The
+invariant monitor audits every run, so a passing benchmark is also a
+machine-checked conservation proof for the chaos path.
+
+Besides the human-readable table, the sweep is saved as
+``benchmarks/results/recovery_rto.json`` for CI artifact upload.
+"""
+
+import json
+import math
+
+from conftest import run_once, save_report
+
+from repro.experiments.recovery import (RECOVERY_DOWN_MS, recovery_sweep)
+from repro.experiments.report import format_table
+
+
+def _sweep(config, trace):
+    return recovery_sweep(config, trace=trace)
+
+
+def test_checkpoints_bound_recovery_cost(benchmark, config, trace,
+                                         results_dir):
+    rows = run_once(benchmark, _sweep, config, trace)
+    by_point = {(row["policy"], row["checkpoint_s"]): row for row in rows}
+    intervals = sorted({row["checkpoint_s"] for row in rows
+                        if row["checkpoint_s"] != float("inf")})
+    assert intervals, "the sweep must exercise at least one interval"
+
+    for policy in ("FIFO", "QUTS"):
+        baseline = by_point[(policy, float("inf"))]
+        assert baseline["rpo_uu"] == 0
+        assert baseline["rto_ms"] is None
+        for interval_s in intervals:
+            row = by_point[(policy, interval_s)]
+            # Every incident recovered and caught up within the run.
+            assert row["rto_ms"] is not None and row["rto_ms"] > 0, (
+                policy, interval_s)
+            # RPO is bounded by the group-commit window, not the
+            # checkpoint interval: only the unflushed tail dies.
+            assert row["rpo_uu"] < 8, (policy, interval_s)
+            # Each run was audited end-to-end by the invariant monitor.
+            assert row["invariants"], (policy, interval_s)
+        # Checkpoints fence the WAL: longer intervals can only replay
+        # more records at recovery, never fewer.
+        replays = [by_point[(policy, s)]["wal_replayed"]
+                   for s in intervals]
+        assert replays == sorted(replays), (policy, replays)
+
+    save_report(results_dir, "recovery_rto",
+                format_table(rows, title="Durability - checkpoint "
+                                         "interval vs. recovery cost "
+                                         "(portal down "
+                                         f"{RECOVERY_DOWN_MS / 1000:.0f}"
+                                         " s, 2 hedged replicas)"))
+    payload = [{k: ("inf" if isinstance(v, float) and math.isinf(v)
+                    else v) for k, v in row.items()} for row in rows]
+    path = results_dir / "recovery_rto.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[saved to {path}]")

@@ -18,7 +18,10 @@ The package layers:
 * :mod:`repro.workload` — a synthetic Stock.com/NYSE trace generator;
 * :mod:`repro.metrics` — profit ledgers and run results;
 * :mod:`repro.faults` — deterministic fault injection (replica crashes,
-  update stalls, load spikes) for robustness experiments;
+  portal-wide outages, update stalls, load spikes) for robustness
+  experiments, with write-ahead logging + checkpoint recovery
+  (:mod:`repro.db.wal`) and a runtime invariant monitor
+  (:mod:`repro.sim.invariants`);
 * :mod:`repro.experiments` — one driver per table/figure of the paper.
 
 Quickstart::
@@ -31,10 +34,12 @@ Quickstart::
     print(result.total_percent)
 """
 
-from repro.db import Database, DatabaseServer, Query, ServerConfig, Update
+from repro.db import (Database, DatabaseServer, DurabilityConfig, Query,
+                      ServerConfig, Update, WriteAheadLog)
 from repro.experiments import ExperimentConfig, run_simulation
 from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.metrics import ProfitLedger, SimulationResult
+from repro.sim.invariants import InvariantMonitor, InvariantViolation
 from repro.qc import (CompositionMode, LinearProfit, PhasedQCFactory,
                       PiecewiseLinearProfit, QCFactory, QualityContract,
                       StepProfit)
@@ -53,9 +58,12 @@ __all__ = [
     "Environment",
     "ExperimentConfig",
     "FIFOScheduler",
+    "DurabilityConfig",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
+    "InvariantMonitor",
+    "InvariantViolation",
     "LinearProfit",
     "PhasedQCFactory",
     "PiecewiseLinearProfit",
@@ -72,6 +80,7 @@ __all__ = [
     "Trace",
     "Update",
     "WorkloadSpec",
+    "WriteAheadLog",
     "make_qh",
     "make_scheduler",
     "make_uh",

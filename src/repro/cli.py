@@ -17,13 +17,15 @@ import typing
 
 from repro.experiments import (ABLATIONS, ExperimentConfig, fault_sweep,
                                fig1, fig5, fig6, fig7, fig8, fig9, fig10,
-                               format_series, format_table, run_simulation,
-                               save_csv, table3, table4)
+                               format_series, format_table,
+                               recovery_sweep, run_simulation, save_csv,
+                               table3, table4)
 from repro.qc.generator import QCFactory
 from repro.scheduling import make_scheduler
 
 EXPERIMENTS = ("fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-               "table3", "table4", "run", "ablation", "export", "faults")
+               "table3", "table4", "run", "ablation", "export", "faults",
+               "recover")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,6 +144,15 @@ def _cmd_faults(config: ExperimentConfig, args) -> None:
                              "baselines)"))
 
 
+def _cmd_recover(config: ExperimentConfig, args) -> None:
+    rows = recovery_sweep(config)
+    print(format_table(rows,
+                       title="Durability - checkpoint interval vs. "
+                             "recovery cost under a portal-wide crash "
+                             "(RPO in #uu, RTO in ms; checkpoint_s=inf "
+                             "rows are the fault-free baselines)"))
+
+
 def _cmd_table3(config: ExperimentConfig, args) -> None:
     rows = [{"parameter": k, "value": v} for k, v in table3(config)]
     print(format_table(rows, title="Table 3 - workload information"))
@@ -247,6 +258,7 @@ _HANDLERS = {
     "fig8": _cmd_fig8,
     "fig9": _cmd_fig9,
     "fig10": _cmd_fig10,
+    "recover": _cmd_recover,
     "table3": _cmd_table3,
     "table4": _cmd_table4,
     "run": _cmd_run,

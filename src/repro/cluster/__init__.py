@@ -7,7 +7,7 @@ machinery (replica crash/recovery, failure-aware routing, query
 failover) that :mod:`repro.faults` exercises.
 """
 
-from .portal import ReplicaHandle, ReplicatedPortal
+from .portal import RecoveryIncident, ReplicaHandle, ReplicatedPortal
 from .routers import (HedgedRouter, LeastLoadedRouter, NoHealthyReplica,
                       QCAwareRouter, RoundRobinRouter, Router)
 from .runner import ClusterResult, run_cluster_simulation
@@ -18,6 +18,7 @@ __all__ = [
     "LeastLoadedRouter",
     "NoHealthyReplica",
     "QCAwareRouter",
+    "RecoveryIncident",
     "ReplicaHandle",
     "ReplicatedPortal",
     "RoundRobinRouter",

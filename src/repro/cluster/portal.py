@@ -34,14 +34,17 @@ percentages comparable with single-server results.
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.db.database import Database
 from repro.db.server import DatabaseServer, ServerConfig
 from repro.db.transactions import Query, Transaction, TxnStatus, Update
+from repro.db.wal import DurabilityConfig, WriteAheadLog
 from repro.metrics.profit import ProfitLedger
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment
+from repro.sim.invariants import InvariantMonitor
 from repro.sim.monitor import CounterSet
 from repro.sim.rng import StreamRegistry
 
@@ -51,14 +54,86 @@ from .routers import NoHealthyReplica, Router, RoundRobinRouter
 _MissedUpdate = tuple[float, str, float]
 
 
+@dataclasses.dataclass
+class RecoveryIncident:
+    """One crash→recover→caught-up episode, with its durability cost.
+
+    ``rpo_uu`` is the recovery point objective in the paper's QoD unit:
+    applied updates whose durability was lost with the crash (the
+    unflushed WAL tail) and had to be re-fetched from the source.
+    ``rto_ms`` is the recovery time objective: recovery instant until the
+    re-sync backlog fully drained (``None`` while not yet caught up, or
+    when the run ended first).  Portal-scope incidents aggregate their
+    member replicas' episodes.
+    """
+
+    scope: str  # "replica" | "portal"
+    replica: int | None
+    crashed_at: float
+    recovered_at: float | None = None
+    rpo_uu: int = 0
+    wal_replayed: int = 0
+    checkpoint_at: float | None = None
+    resynced: int = 0
+    resync_txns: list[Update] = dataclasses.field(
+        default_factory=list, repr=False)
+    members: "list[RecoveryIncident]" = dataclasses.field(
+        default_factory=list, repr=False)
+
+    def rto_ms(self) -> float | None:
+        """Time from recovery to a fully drained re-sync backlog."""
+        if self.recovered_at is None:
+            return None
+        if self.scope == "portal":
+            rtos = [m.rto_ms() for m in self.members]
+            if any(r is None for r in rtos):
+                return None
+            return max(rtos, default=0.0)
+        if any(txn.alive for txn in self.resync_txns):
+            return None
+        if not self.resync_txns:
+            return 0.0
+        return (max(typing.cast(float, txn.finish_time)
+                    for txn in self.resync_txns) - self.recovered_at)
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        if self.scope == "portal":
+            rpo = max((m.rpo_uu for m in self.members), default=0)
+            replayed = sum(m.wal_replayed for m in self.members)
+            resynced = sum(m.resynced for m in self.members)
+            marks = [m.checkpoint_at for m in self.members
+                     if m.checkpoint_at is not None]
+            checkpoint_at = max(marks) if marks else None
+        else:
+            rpo, replayed, resynced, checkpoint_at = (
+                self.rpo_uu, self.wal_replayed, self.resynced,
+                self.checkpoint_at)
+        rto = self.rto_ms()
+        return {
+            "scope": self.scope,
+            "replica": self.replica,
+            "crashed_at_ms": self.crashed_at,
+            "recovered_at_ms": self.recovered_at,
+            "rpo_uu": rpo,
+            "wal_replayed": replayed,
+            "checkpoint_at_ms": checkpoint_at,
+            "resynced": resynced,
+            "rto_ms": rto,
+            "caught_up": rto is not None,
+        }
+
+
 class ReplicaHandle:
     """One replica: server + ledger, with the cheap state routers read."""
 
     def __init__(self, index: int, server: DatabaseServer,
-                 ledger: ProfitLedger) -> None:
+                 ledger: ProfitLedger,
+                 wal: WriteAheadLog | None = None) -> None:
         self.index = index
         self.server = server
         self.ledger = ledger
+        #: The replica's durable trail (None without a durability layer).
+        self.wal = wal
         #: Health bit the routers consult; flipped by crash/recover.
         self.up = True
         #: Sim time of the current outage's start (None while up).
@@ -70,6 +145,8 @@ class ReplicaHandle:
         self.downtime_ms = 0.0
         #: Broadcasts missed while down, replayed on recovery.
         self.missed_updates: list[_MissedUpdate] = []
+        #: The in-progress crash episode (None while up and caught up).
+        self.open_incident: RecoveryIncident | None = None
 
     def pending_queries(self) -> int:
         return self.server.scheduler.pending_queries()
@@ -92,7 +169,9 @@ class ReplicatedPortal:
                  router: Router | None = None,
                  server_config: ServerConfig | None = None,
                  failover_retries: int = 6,
-                 failover_backoff_ms: float = 50.0) -> None:
+                 failover_backoff_ms: float = 50.0,
+                 durability: DurabilityConfig | None = None,
+                 monitor: InvariantMonitor | None = None) -> None:
         if n_replicas <= 0:
             raise ValueError("need at least one replica")
         if failover_retries < 0:
@@ -106,14 +185,20 @@ class ReplicatedPortal:
         self.router = router or RoundRobinRouter()
         self.failover_retries = failover_retries
         self.failover_backoff_ms = failover_backoff_ms
+        self.durability = durability
+        self.monitor = monitor
         self.replicas: list[ReplicaHandle] = []
         for index in range(n_replicas):
             ledger = ProfitLedger()
+            wal = (WriteAheadLog(flush_every=durability.flush_every)
+                   if durability is not None else None)
             server = DatabaseServer(
                 env, Database(), scheduler_factory(), ledger,
                 streams.spawn(f"replica-{index}"),
-                config=server_config)
-            self.replicas.append(ReplicaHandle(index, server, ledger))
+                config=server_config, wal=wal, monitor=monitor)
+            self.replicas.append(ReplicaHandle(index, server, ledger, wal))
+        if durability is not None:
+            env.process(self._checkpointer(), name="checkpointer")
         #: Queries routed per replica (for balance inspection); failover
         #: resubmissions count as fresh routing decisions.
         self.routed_counts = [0] * n_replicas
@@ -126,6 +211,31 @@ class ReplicatedPortal:
         #: Pre-computed hedge backups (txn_id -> replica index), kept
         #: only when the router nominates backups (HedgedRouter).
         self._backups: dict[int, int] = {}
+        #: Every crash episode, in crash order (replica + portal scope).
+        self.incidents: list[RecoveryIncident] = []
+        #: Closed replica outages as (start, end) spans; finalize closes
+        #: the open ones.  The union of these is the portal's true
+        #: unavailability (overlapping outages are not double-counted).
+        self.outage_spans: list[tuple[float, float]] = []
+        #: The in-progress portal-wide outage (None normally).
+        self._portal_incident: RecoveryIncident | None = None
+
+    def _observe(self, kind: str, txn: Transaction,
+                 **data: typing.Any) -> None:
+        """Feed a portal-level lifecycle event to the invariant monitor."""
+        if self.monitor is not None:
+            self.monitor.record(kind, txn_id=txn.txn_id, **data)
+
+    def _checkpointer(self):
+        """Periodically checkpoint every live replica (durability only)."""
+        interval = typing.cast(
+            DurabilityConfig, self.durability).checkpoint_interval_ms
+        while True:
+            yield self.env.timeout(interval)
+            for handle in self.replicas:
+                if handle.up:
+                    handle.server.take_checkpoint()
+                    self.fault_counters.increment("checkpoints_taken")
 
     def __repr__(self) -> str:
         up = sum(1 for r in self.replicas if r.up)
@@ -147,6 +257,7 @@ class ReplicatedPortal:
         try:
             index = self.router.choose(query, self.replicas)
         except NoHealthyReplica:
+            self._observe("query_submitted", query)
             self.replicas[0].ledger.on_query_submitted(query, self.env.now)
             self.fault_counters.increment("queries_stranded_arrival")
             self._start_failover(query, self.replicas[0].ledger,
@@ -178,15 +289,39 @@ class ReplicatedPortal:
     # Replica lifecycle (driven by the fault injector)
     # ------------------------------------------------------------------
     def crash_replica(self, index: int) -> None:
-        """Fail-stop ``index``: strand its in-flight work (idempotent)."""
+        """Fail-stop ``index``: strand its in-flight work (idempotent).
+
+        With a durability layer attached the crash is *total*: the
+        main-memory store is wiped and the WAL's unflushed tail is lost
+        (the incident's RPO).  Without one, the database object
+        conveniently survives — the original optimistic fault model.
+        """
         handle = self.replicas[index]
         if not handle.up:
             return
         handle.up = False
         handle.crashed_at = self.env.now
         handle.crash_count += 1
+        incident = RecoveryIncident(scope="replica", replica=index,
+                                    crashed_at=self.env.now)
+        handle.open_incident = incident
+        self.incidents.append(incident)
+        if self._portal_incident is not None:
+            self._portal_incident.members.append(incident)
         self.fault_counters.increment("replica_crashes")
-        for txn in handle.server.crash():
+        stranded = handle.server.crash()
+        if handle.wal is not None:
+            # The source is durable: the lost tail re-enters as re-sync
+            # work.  It goes first — those updates were *applied* before
+            # the stranded in-flight ones arrived, and the register table
+            # resolves per-item re-sync order by last-write-wins.
+            lost = handle.server.lose_volatile_state()
+            incident.rpo_uu = len(lost)
+            self.fault_counters.increment("wal_records_lost", len(lost))
+            for record in lost:
+                handle.missed_updates.append(
+                    (record.exec_ms, record.item, record.value))
+        for txn in stranded:
             if txn.is_query:
                 self.fault_counters.increment("queries_failed_over")
                 self._start_failover(
@@ -198,31 +333,54 @@ class ReplicatedPortal:
     def recover_replica(self, index: int) -> None:
         """Repair ``index``: rejoin stale, then catch up (idempotent).
 
-        The replica's database kept its pre-crash contents; the broadcasts
-        it missed are replayed now in arrival order (the register table
-        collapses per-item duplicates), so it rejoins with a visible
-        re-sync backlog and works it off under its own scheduler.
+        With a durability layer, recovery first restores the last
+        crash-consistent checkpoint and replays the durable WAL tail;
+        without one the replica's database kept its pre-crash contents.
+        Either way, the broadcasts it missed are replayed now in arrival
+        order (the register table collapses per-item duplicates), so it
+        rejoins with a visible re-sync backlog and works it off under
+        its own scheduler.
         """
         handle = self.replicas[index]
         if handle.up:
             return
         now = self.env.now
+        crashed_at = typing.cast(float, handle.crashed_at)
+        incident = handle.open_incident
+        if handle.wal is not None:
+            # Restore BEFORE rejoining: a corrupt WAL aborts recovery
+            # here and the replica stays down (fail-stop), instead of
+            # re-entering rotation with a dead server behind it.
+            checkpoint, replayed = handle.server.restore_durable_state()
+            if incident is not None:
+                incident.wal_replayed = replayed
+                incident.checkpoint_at = (
+                    checkpoint.taken_at if checkpoint is not None else None)
+            self.fault_counters.increment("wal_records_replayed", replayed)
         handle.up = True
-        handle.downtime_ms += now - typing.cast(float, handle.crashed_at)
+        handle.downtime_ms += now - crashed_at
+        self.outage_spans.append((crashed_at, now))
         handle.crashed_at = None
         self.fault_counters.increment("replica_recoveries")
         handle.server.recover()
         missed, handle.missed_updates = handle.missed_updates, []
         for exec_ms, item, value in missed:
-            handle.server.submit_update(
-                Update(now, exec_ms, item, value=value))
+            update = Update(now, exec_ms, item, value=value)
+            handle.server.submit_update(update)
             self.fault_counters.increment("updates_resynced")
+            if incident is not None:
+                incident.resynced += 1
+                incident.resync_txns.append(update)
+        if incident is not None:
+            incident.recovered_at = now
+            handle.open_incident = None
 
     def _lose_update(self, update: Update, handle: ReplicaHandle) -> None:
         """An in-flight update died with its replica; the source is
         durable, so it is queued for re-push at recovery."""
         update.status = TxnStatus.LOST_CRASH
         update.finish_time = self.env.now
+        self._observe("update_lost", update)
         self.fault_counters.increment("updates_lost_crash")
         handle.missed_updates.append(
             (update.exec_time, update.item, update.value))
@@ -283,6 +441,42 @@ class ReplicatedPortal:
         query.status = TxnStatus.LOST_CRASH
         query.finish_time = self.env.now
         ledger.on_query_lost_to_crash(query, self.env.now)
+        self._observe("query_lost", query)
+
+    # ------------------------------------------------------------------
+    # Portal-wide outage (the ``portal_crash`` fault kind)
+    # ------------------------------------------------------------------
+    def crash_portal(self) -> None:
+        """Fail-stop the whole portal: every replica goes down at once.
+
+        A portal-scope :class:`RecoveryIncident` is opened; the member
+        replicas' episodes aggregate into it (a replica already down
+        keeps its own open episode and joins as a member).  Idempotent.
+        """
+        if self._portal_incident is not None:
+            return
+        incident = RecoveryIncident(scope="portal", replica=None,
+                                    crashed_at=self.env.now)
+        self.incidents.append(incident)
+        self._portal_incident = incident
+        self.fault_counters.increment("portal_crashes")
+        for handle in self.replicas:
+            if handle.up:
+                self.crash_replica(handle.index)  # appends to members
+            elif handle.open_incident is not None:
+                incident.members.append(handle.open_incident)
+
+    def recover_portal(self) -> None:
+        """End a portal-wide outage: recover every downed replica."""
+        incident = self._portal_incident
+        if incident is None:
+            return
+        self._portal_incident = None
+        for handle in self.replicas:
+            if not handle.up:
+                self.recover_replica(handle.index)
+        incident.recovered_at = self.env.now
+        self.fault_counters.increment("portal_recoveries")
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:
@@ -290,6 +484,7 @@ class ReplicatedPortal:
         for replica in self.replicas:
             if not replica.up and replica.crashed_at is not None:
                 replica.downtime_ms += now - replica.crashed_at
+                self.outage_spans.append((replica.crashed_at, now))
                 replica.crashed_at = now  # keep a second finalize additive
         # Queries parked in a backoff when the horizon hit: lost, not
         # vanished — their contracts stay in the denominators.
@@ -338,6 +533,32 @@ class ReplicatedPortal:
             if not replica.up and replica.crashed_at is not None:
                 total += now - replica.crashed_at
         return total
+
+    def downtime_union_ms(self) -> float:
+        """Wall-clock time with *at least one* replica down.
+
+        The union of the outage intervals — concurrent outages (a portal
+        crash, or overlapping per-replica ones) are counted once, unlike
+        the replica-ms sum of :attr:`total_downtime_ms`.  Spans still
+        open (replica down right now) are closed at the current clock.
+        """
+        now = self.env.now
+        spans = list(self.outage_spans)
+        for replica in self.replicas:
+            if not replica.up and replica.crashed_at is not None:
+                spans.append((replica.crashed_at, now))
+        if not spans:
+            return 0.0
+        spans.sort()
+        total = 0.0
+        cur_start, cur_end = spans[0]
+        for start, end in spans[1:]:
+            if start > cur_end:
+                total += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        return total + (cur_end - cur_start)
 
     def mean_response_time(self) -> float:
         """Committed-query mean over the whole cluster."""

@@ -6,11 +6,13 @@ import typing
 
 from repro.db.server import ServerConfig
 from repro.db.transactions import Query
+from repro.db.wal import DurabilityConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.qc.contracts import QualityContract
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment
+from repro.sim.invariants import InvariantMonitor
 from repro.sim.rng import StreamRegistry
 from repro.workload.traces import Trace
 
@@ -21,7 +23,8 @@ from .routers import Router
 class ClusterResult:
     """Cluster-level outcome plus the per-replica detail."""
 
-    def __init__(self, portal: ReplicatedPortal, duration: float) -> None:
+    def __init__(self, portal: ReplicatedPortal, duration: float,
+                 invariants_checked: bool = False) -> None:
         self.duration = duration
         self.n_replicas = len(portal.replicas)
         self.router_name = portal.router.name
@@ -36,14 +39,58 @@ class ClusterResult:
         self.fault_counters = portal.fault_counters.as_dict()
         self.downtime_ms = portal.total_downtime_ms
         self.crash_counts = [r.crash_count for r in portal.replicas]
+        #: Wall-clock ms with at least one replica down (interval union —
+        #: concurrent outages are not double-counted).
+        self.downtime_union_ms = portal.downtime_union_ms()
+        #: Durability telemetry: one record per crash episode, with the
+        #: episode's RPO (#uu lost from the unflushed WAL tail) and RTO
+        #: (ms from recovery to a drained re-sync backlog).
+        self.incidents: list[dict] = [
+            i.as_dict() for i in portal.incidents]
+        #: True when an invariant monitor watched (and passed) this run.
+        self.invariants_checked = invariants_checked
+        #: Final per-replica database digests (key, value, master, #uu)
+        #: — what recovery parity is measured against.
+        self.state_digests = [r.server.database.state_digest()
+                              for r in portal.replicas]
 
     @property
     def availability(self) -> float:
-        """Fraction of replica-time the cluster's replicas were up."""
+        """Fraction of wall-clock time the portal could serve queries.
+
+        Computed from the *union* of the outage intervals: two replicas
+        down over the same window cost the window once, not twice
+        (summing per-replica downtime over-counts exactly when outages
+        overlap — a portal-wide crash would otherwise look ``n`` times
+        worse than it is).  Per-replica utilisation remains available as
+        :attr:`replica_availability`.
+        """
+        if self.duration <= 0:
+            return 1.0
+        return 1.0 - min(1.0, self.downtime_union_ms / self.duration)
+
+    @property
+    def replica_availability(self) -> float:
+        """Fraction of replica-time (capacity) that was up — the old
+        sum-based accounting, still the right lens for capacity loss."""
         span = self.duration * self.n_replicas
         if span <= 0:
             return 1.0
         return 1.0 - min(1.0, self.downtime_ms / span)
+
+    @property
+    def rpo_uu(self) -> int:
+        """Worst per-incident RPO across the run (#uu lost), 0 if none."""
+        return max((i["rpo_uu"] for i in self.incidents), default=0)
+
+    @property
+    def rto_ms_max(self) -> float | None:
+        """Worst per-incident RTO (ms); None when an incident never
+        caught up before the run ended (or there were no incidents)."""
+        rtos = [i["rto_ms"] for i in self.incidents]
+        if not rtos or any(r is None for r in rtos):
+            return None
+        return max(rtos)
 
     def __repr__(self) -> str:
         return (f"<ClusterResult n={self.n_replicas} "
@@ -73,6 +120,8 @@ def run_cluster_simulation(n_replicas: int,
                            fault_plan: FaultPlan | None = None,
                            failover_retries: int = 6,
                            failover_backoff_ms: float = 50.0,
+                           durability: DurabilityConfig | None = None,
+                           invariants: bool = False,
                            ) -> ClusterResult:
     """Replay ``trace`` against ``n_replicas`` servers behind ``router``.
 
@@ -81,11 +130,20 @@ def run_cluster_simulation(n_replicas: int,
     cluster results are directly comparable with
     :func:`repro.experiments.run_simulation` on the same trace.
 
-    ``fault_plan`` schedules failures (replica crashes, update-source
-    stalls, query spikes) via a :class:`~repro.faults.FaultInjector`.
+    ``fault_plan`` schedules failures (replica crashes, portal-wide
+    outages, update-source stalls, query spikes) via a
+    :class:`~repro.faults.FaultInjector`.
     A ``FaultPlan.none()`` plan is bit-identical to no plan at all: the
     injector draws nothing and perturbs no stream, so fault-free runs
     reproduce the fault-less results exactly.
+
+    ``durability`` attaches a write-ahead log + periodic checkpoints to
+    every replica (crashes then wipe main memory; recovery restores the
+    last checkpoint and replays the durable WAL tail).  ``invariants``
+    attaches an :class:`~repro.sim.invariants.InvariantMonitor` that
+    audits every transaction lifecycle event during the run and verifies
+    the conservation laws at the end — it observes only, so an audited
+    run is bit-identical to an unaudited one.
 
     Traces are validated on the fly: non-monotonic arrival times raise
     :class:`ValueError` instead of being silently replayed with zero
@@ -93,10 +151,12 @@ def run_cluster_simulation(n_replicas: int,
     """
     env = Environment()
     streams = StreamRegistry(master_seed)
+    monitor = InvariantMonitor(lambda: env.now) if invariants else None
     portal = ReplicatedPortal(env, n_replicas, scheduler_factory, streams,
                               router=router, server_config=server_config,
                               failover_retries=failover_retries,
-                              failover_backoff_ms=failover_backoff_ms)
+                              failover_backoff_ms=failover_backoff_ms,
+                              durability=durability, monitor=monitor)
     injector = (FaultInjector(env, fault_plan, portal)
                 if fault_plan is not None else None)
     qc_rng = streams.stream("qc.sampler")
@@ -138,4 +198,7 @@ def run_cluster_simulation(n_replicas: int,
     horizon = trace.duration_ms + max(0.0, drain_ms)
     env.run(until=horizon)
     portal.finalize()
-    return ClusterResult(portal, horizon)
+    if monitor is not None:
+        monitor.verify_complete(portal.total_gained)
+    return ClusterResult(portal, horizon,
+                         invariants_checked=monitor is not None)

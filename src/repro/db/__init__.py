@@ -9,8 +9,13 @@ from .locks import (AcquireOutcome, AcquireResult, LockManager, LockMode)
 from .server import DatabaseServer, ServerConfig
 from .transactions import (LIVE_STATUSES, Query, Transaction, TxnStatus,
                            Update)
+from .wal import Checkpoint, DurabilityConfig, WalRecord, WriteAheadLog
 
 __all__ = [
+    "Checkpoint",
+    "DurabilityConfig",
+    "WalRecord",
+    "WriteAheadLog",
     "AcquireOutcome",
     "AcquireResult",
     "AdmissionPolicy",

@@ -19,8 +19,14 @@ import typing
 from .items import DataItem
 from .transactions import Query, TxnStatus, Update
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .wal import WalRecord
+
 #: How a query's read-set staleness values are aggregated into one number.
 StalenessAggregation = typing.Literal["max", "mean", "sum"]
+
+#: The full per-item state captured by snapshots (every DataItem slot).
+_ITEM_FIELDS: tuple[str, ...] = DataItem.__slots__
 
 
 class Database:
@@ -121,6 +127,68 @@ class Database:
         item.apply(update.seq, update.value, now)
         if self._register.get(update.item) is update:
             del self._register[update.item]
+
+    # ------------------------------------------------------------------
+    # Durability: snapshots, crash wipe, and WAL replay
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, tuple]:
+        """A crash-consistent copy of the full per-item state.
+
+        Every :class:`DataItem` slot is captured (values are immutable
+        scalars, so a tuple per item is a deep copy).  The register table
+        is *not* part of the snapshot: pending updates are volatile queue
+        state, re-synced from the durable source after a crash.
+        """
+        return {key: tuple(getattr(item, field) for field in _ITEM_FIELDS)
+                for key, item in self._items.items()}
+
+    def restore(self, snapshot: dict[str, tuple]) -> None:
+        """Replace the store's contents with ``snapshot`` (checkpoint
+        restore); anything not in the snapshot is forgotten."""
+        self._items = {}
+        self._register = {}
+        for key, state in snapshot.items():
+            item = DataItem(key)
+            for field, value in zip(_ITEM_FIELDS, state):
+                setattr(item, field, value)
+            self._items[key] = item
+
+    def clear(self) -> None:
+        """Fail-stop wipe: a main-memory store dies with its server."""
+        self._items = {}
+        self._register = {}
+
+    def replay_applied(self, record: "WalRecord") -> None:
+        """Re-install one WAL record during recovery.
+
+        The record proves both that the update's arrival happened (it was
+        registered before it could be applied) and that it committed, so
+        replay advances the arrival counters when the checkpoint predates
+        the arrival, then re-applies the value.
+        """
+        item = self.item(record.item)
+        if record.seq > item.latest_seq:
+            # Arrived after the checkpoint was cut: recover the arrival
+            # bookkeeping the snapshot could not contain.
+            item.latest_seq = record.seq
+            item.master_value = record.value
+            item.updates_arrived += 1
+        item.apply(record.seq, record.value, record.applied_at)
+
+    def state_digest(self) -> tuple[tuple[str, float, float, int], ...]:
+        """Canonical comparable state: (key, value, master, #uu) rows.
+
+        Two replicas that served the same update stream — live, replayed
+        from the WAL, or re-synced after a crash — must produce equal
+        digests; this is what the recovery property tests compare.  Only
+        items that ever saw an update are included: read-only items are
+        materialised lazily by whichever queries happen to be routed
+        here, so their presence is routing noise, not replica state.
+        """
+        return tuple(sorted(
+            (item.key, item.value, item.master_value,
+             item.unapplied_updates)
+            for item in self._items.values() if item.latest_seq > 0))
 
     # ------------------------------------------------------------------
     # Staleness of a query's read set

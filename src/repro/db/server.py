@@ -28,6 +28,7 @@ import typing
 from repro.metrics.profit import ProfitLedger
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment, Interrupt
+from repro.sim.invariants import InvariantMonitor
 from repro.sim.monitor import TimeSeries
 from repro.sim.rng import StreamRegistry
 
@@ -35,6 +36,7 @@ from .admission import AdmissionPolicy
 from .database import Database
 from .locks import LockManager, LockMode
 from .transactions import Query, Transaction, TxnStatus, Update
+from .wal import Checkpoint, WalRecord, WriteAheadLog
 
 #: Float slack for "service time exhausted".
 _EPS = 1e-9
@@ -120,7 +122,9 @@ class DatabaseServer:
                  scheduler: Scheduler, ledger: ProfitLedger,
                  streams: StreamRegistry,
                  config: ServerConfig | None = None,
-                 admission: "AdmissionPolicy | None" = None) -> None:
+                 admission: "AdmissionPolicy | None" = None,
+                 wal: WriteAheadLog | None = None,
+                 monitor: InvariantMonitor | None = None) -> None:
         self.env = env
         self.database = database
         self.scheduler = scheduler
@@ -129,6 +133,13 @@ class DatabaseServer:
         #: Optional query admission policy (default: admit everything,
         #: the paper's behaviour).  See :mod:`repro.db.admission`.
         self.admission = admission
+        #: Optional write-ahead log; when attached, every applied update
+        #: is journalled and :meth:`take_checkpoint` fences the log with
+        #: a crash-consistent database snapshot.
+        self.wal = wal
+        #: Optional runtime invariant monitor (an observer: it never
+        #: perturbs the run).  See :mod:`repro.sim.invariants`.
+        self.monitor = monitor
 
         scheduler.bind(env, streams)
         self.locks = LockManager(scheduler.has_lock_priority)
@@ -152,6 +163,15 @@ class DatabaseServer:
         return (f"<DatabaseServer t={self.env.now:.0f} "
                 f"running={self._running!r}>")
 
+    def _observe(self, kind: str, txn: Transaction,
+                 **data: typing.Any) -> None:
+        """Feed one lifecycle event to the invariant monitor (if any)."""
+        if self.monitor is not None:
+            self.monitor.record(
+                kind, txn_id=txn.txn_id,
+                pending_queries=self.scheduler.pending_queries(),
+                pending_updates=self.scheduler.pending_updates(), **data)
+
     # ------------------------------------------------------------------
     # Arrivals
     # ------------------------------------------------------------------
@@ -163,6 +183,7 @@ class DatabaseServer:
         declined, not broken).
         """
         self._check_up()
+        self._observe("query_submitted", query)
         if self.admission is not None and not self.admission.admit(
                 query, self):
             query.status = TxnStatus.REJECTED
@@ -170,6 +191,7 @@ class DatabaseServer:
             self.ledger.on_query_rejected(
                 query, self.env.now,
                 shed=getattr(self.admission, "is_shedding", False))
+            self._observe("query_rejected", query)
             return
         query.status = TxnStatus.QUEUED
         self.ledger.on_query_submitted(query, self.env.now)
@@ -196,11 +218,17 @@ class DatabaseServer:
     def submit_update(self, update: Update) -> None:
         """A blind update arrives from the external source."""
         self._check_up()
+        self._observe("update_submitted", update)
         superseded = self.database.register_update(update, self.env.now)
         if superseded is not None:
             self.ledger.on_update_superseded(superseded, self.env.now)
             self.locks.release_all(superseded)
             self._unblock_waiters()
+            if superseded.status is TxnStatus.DROPPED_SUPERSEDED:
+                # Only a live victim *transitioned* here; a register
+                # entry stranded by an earlier crash already reached its
+                # terminal (lost) state.
+                self._observe("update_superseded", superseded)
             if superseded is self._running:
                 self._proc.interrupt(_Superseded(superseded))
         update.status = TxnStatus.QUEUED
@@ -279,9 +307,10 @@ class DatabaseServer:
         try:
             yield self.env.timeout(self.config.class_switch_overhead)
         except Interrupt:
-            if not self._crashed:
+            if not self._crashed and txn.alive:
                 # On a crash the transaction was already stranded by
-                # crash(); requeueing it here would duplicate it.
+                # crash(), and a superseded update already reached its
+                # terminal state — requeueing either would resurrect it.
                 txn.status = TxnStatus.QUEUED
                 self.scheduler.requeue(txn)
             return True
@@ -341,6 +370,10 @@ class DatabaseServer:
                 # Our work is moot; locks were already released on register.
                 return "stop"
             return "continue"
+        if not txn.alive:
+            # Died (e.g. superseded) between the interrupt being raised
+            # and delivered: never suspend/requeue a terminal transaction.
+            return "stop"
         if isinstance(cause, _Preempt):
             arrival = cause.arrival
             # Re-validate: the arrival may have died (superseded) or the
@@ -388,10 +421,15 @@ class DatabaseServer:
             query.qod_profit = qod
             self.ledger.on_query_committed(query, now)
             self.scheduler.notify_query_finished(query)
+            self._observe("query_committed", query,
+                          profit=query.total_profit)
         else:
             update = typing.cast(Update, txn)
             self.database.apply_update(update, now)
+            if self.wal is not None:
+                self.wal.append_applied(update, now)
             self.ledger.on_update_applied(update, now)
+            self._observe("update_applied", update)
         self.locks.release_all(txn)
         self._unblock_waiters()
 
@@ -410,6 +448,7 @@ class DatabaseServer:
         self.locks.release_all(query)
         self.ledger.on_query_dropped(query, self.env.now)
         self.scheduler.notify_query_finished(query)
+        self._observe("query_dropped", query)
         self._unblock_waiters()
 
     def _handle_restart(self, loser: Transaction) -> None:
@@ -494,6 +533,47 @@ class DatabaseServer:
             self._recover_event.succeed()
 
     # ------------------------------------------------------------------
+    # Durability (active only with an attached WAL)
+    # ------------------------------------------------------------------
+    def take_checkpoint(self) -> Checkpoint:
+        """Fence the WAL with a crash-consistent snapshot: the full item
+        state plus a digest of the (volatile) scheduler queues."""
+        if self.wal is None:
+            raise RuntimeError("no write-ahead log attached; construct "
+                               "the server with wal=WriteAheadLog(...)")
+        digest = {
+            "pending_queries": self.scheduler.pending_queries(),
+            "pending_updates": self.scheduler.pending_updates(),
+            "blocked": len(self._blocked),
+        }
+        return self.wal.take_checkpoint(self.database, digest,
+                                        self.env.now)
+
+    def lose_volatile_state(self) -> list[WalRecord]:
+        """Crash the durability layer: wipe the main-memory store and
+        drop the WAL's unflushed tail.  Returns the lost records (the
+        incident's RPO) for re-sync from the durable source."""
+        if self.wal is None:
+            return []
+        lost = self.wal.crash()
+        self.database.clear()
+        return lost
+
+    def restore_durable_state(self) -> tuple[Checkpoint | None, int]:
+        """Rebuild the store from the last checkpoint plus the durable
+        WAL tail; returns (checkpoint, records replayed).  Corrupted
+        records raise :class:`~repro.sim.invariants.InvariantViolation`.
+        """
+        if self.wal is None:
+            return None, 0
+        checkpoint, tail = self.wal.recover()
+        if checkpoint is not None:
+            self.database.restore(checkpoint.items)
+        for record in tail:
+            self.database.replay_applied(record)
+        return checkpoint, len(tail)
+
+    # ------------------------------------------------------------------
     # End-of-run accounting
     # ------------------------------------------------------------------
     def finalize(self) -> None:
@@ -514,8 +594,10 @@ class DatabaseServer:
             txn.status = TxnStatus.UNFINISHED
             if txn.is_query:
                 self.ledger.on_query_unfinished(typing.cast(Query, txn))
+                self._observe("query_unfinished", txn)
             else:
                 self.ledger.on_update_unfinished(typing.cast(Update, txn))
+                self._observe("update_unfinished", txn)
 
     def _queue_sampler(self):
         every = self.config.queue_sample_every

@@ -1,0 +1,225 @@
+"""Durability: a write-ahead update log with crash-consistent checkpoints.
+
+The paper's web-database is main-memory and its updates are *blind*:
+losing one is silent QoD corruption, because no client ever re-reads the
+value it pushed.  This module gives each replica a durable trail:
+
+* every **applied** update is appended to a :class:`WriteAheadLog` as a
+  checksummed :class:`WalRecord`;
+* records become *durable* in groups (``flush_every`` appends, modelling
+  group commit) and always at checkpoints;
+* a :class:`Checkpoint` is a crash-consistent snapshot: the full
+  :class:`~repro.db.database.Database` item state plus a digest of the
+  scheduler queues at the checkpoint instant, fenced by the last durable
+  LSN it covers.
+
+On a fail-stop crash the unflushed tail of the log is lost — those
+records are the incident's **RPO**, measured in the paper's own QoD unit
+(#uu, unapplied/lost updates).  Recovery restores the last checkpoint,
+replays the durable WAL tail (verifying each record's checksum — a
+corrupted record raises
+:class:`~repro.sim.invariants.InvariantViolation` instead of silently
+diverging), and re-syncs the remainder from the durable external source.
+
+Everything here is in-simulation state: the "disk" is an object that
+survives :meth:`WriteAheadLog.crash` while the database object does not.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+import zlib
+
+from repro.sim.invariants import InvariantViolation
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
+    from .transactions import Update
+
+
+def _checksum(lsn: int, applied_at: float, item: str, seq: int,
+              value: float, exec_ms: float) -> int:
+    payload = f"{lsn}|{applied_at!r}|{item}|{seq}|{value!r}|{exec_ms!r}"
+    return zlib.crc32(payload.encode("utf-8"))
+
+
+@dataclasses.dataclass(frozen=True)
+class WalRecord:
+    """One applied update, as written to the log."""
+
+    lsn: int
+    applied_at: float
+    item: str
+    seq: int
+    value: float
+    exec_ms: float
+    checksum: int
+
+    @classmethod
+    def applied(cls, lsn: int, applied_at: float, item: str, seq: int,
+                value: float, exec_ms: float) -> "WalRecord":
+        return cls(lsn, applied_at, item, seq, value, exec_ms,
+                   _checksum(lsn, applied_at, item, seq, value, exec_ms))
+
+    def verify(self) -> bool:
+        """True iff the stored checksum matches the record's fields."""
+        return self.checksum == _checksum(
+            self.lsn, self.applied_at, self.item, self.seq, self.value,
+            self.exec_ms)
+
+
+@dataclasses.dataclass(frozen=True)
+class Checkpoint:
+    """A crash-consistent snapshot fencing the log at ``last_lsn``."""
+
+    taken_at: float
+    last_lsn: int
+    #: Full per-item state (the Database snapshot format).
+    items: dict[str, tuple]
+    #: Scheduler-queue digest at the instant of the checkpoint (queued
+    #: work is volatile; the digest documents what recovery must re-sync).
+    queue_digest: dict[str, int]
+
+    def __repr__(self) -> str:
+        return (f"<Checkpoint t={self.taken_at:.0f} lsn={self.last_lsn} "
+                f"items={len(self.items)} queues={self.queue_digest}>")
+
+
+@dataclasses.dataclass(frozen=True)
+class DurabilityConfig:
+    """Tunables of the durability layer (per replica)."""
+
+    #: Period of the crash-consistent checkpoints (ms).
+    checkpoint_interval_ms: float = 60_000.0
+    #: Group-commit factor: appends become durable every this many
+    #: records (and always at checkpoints).  1 = synchronous WAL,
+    #: RPO 0; larger values trade durability for write amortisation.
+    flush_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval_ms <= 0:
+            raise ValueError(
+                f"checkpoint_interval_ms must be positive, "
+                f"got {self.checkpoint_interval_ms}")
+        if self.flush_every < 1:
+            raise ValueError(
+                f"flush_every must be >= 1, got {self.flush_every}")
+
+
+class WriteAheadLog:
+    """The durable trail of one replica: log records + checkpoints."""
+
+    def __init__(self, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.flush_every = flush_every
+        #: Durable records, in LSN order.
+        self._durable: list[WalRecord] = []
+        #: Appended but not yet flushed (lost on crash).
+        self._buffer: list[WalRecord] = []
+        self._checkpoints: list[Checkpoint] = []
+        self._next_lsn = 1
+        self.flushes = 0
+        self.records_lost = 0
+
+    def __repr__(self) -> str:
+        return (f"<WriteAheadLog durable={len(self._durable)} "
+                f"buffered={len(self._buffer)} "
+                f"checkpoints={len(self._checkpoints)}>")
+
+    # ------------------------------------------------------------------
+    # The write path
+    # ------------------------------------------------------------------
+    def append_applied(self, update: "Update", now: float) -> WalRecord:
+        """Log one applied update; flushes on the group-commit boundary."""
+        record = WalRecord.applied(self._next_lsn, now, update.item,
+                                   update.seq, update.value,
+                                   update.exec_time)
+        self._next_lsn += 1
+        self._buffer.append(record)
+        if len(self._buffer) >= self.flush_every:
+            self.flush()
+        return record
+
+    def flush(self) -> None:
+        """Make every buffered record durable."""
+        if self._buffer:
+            self._durable.extend(self._buffer)
+            self._buffer.clear()
+            self.flushes += 1
+
+    def take_checkpoint(self, database: "Database",
+                        queue_digest: dict[str, int],
+                        now: float) -> Checkpoint:
+        """Flush, snapshot the database, and fence the log."""
+        self.flush()
+        checkpoint = Checkpoint(taken_at=now, last_lsn=self.durable_lsn,
+                                items=database.snapshot(),
+                                queue_digest=dict(queue_digest))
+        self._checkpoints.append(checkpoint)
+        return checkpoint
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> list[WalRecord]:
+        """Fail-stop: the unflushed tail is lost; returns it (the
+        incident's RPO in #uu) so the caller can re-sync those updates
+        from the durable external source."""
+        lost, self._buffer = self._buffer, []
+        self.records_lost += len(lost)
+        return lost
+
+    def recover(self) -> tuple[Checkpoint | None, list[WalRecord]]:
+        """The durable state to rebuild from: last checkpoint + log tail.
+
+        Every replayed record is checksum-verified; corruption raises
+        :class:`InvariantViolation` (with the damaged record) rather
+        than silently installing wrong values.
+        """
+        checkpoint = self._checkpoints[-1] if self._checkpoints else None
+        fence = checkpoint.last_lsn if checkpoint is not None else 0
+        tail = [r for r in self._durable if r.lsn > fence]
+        for record in tail:
+            if not record.verify():
+                raise InvariantViolation(
+                    f"corrupted WAL record at lsn={record.lsn} "
+                    f"(item={record.item!r}, seq={record.seq}): checksum "
+                    f"mismatch — refusing to replay a damaged log")
+        return checkpoint, tail
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def durable_lsn(self) -> int:
+        """LSN of the newest durable record (0 when the log is empty)."""
+        return self._durable[-1].lsn if self._durable else 0
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest appended record, durable or not."""
+        return self._next_lsn - 1
+
+    @property
+    def durable_records(self) -> tuple[WalRecord, ...]:
+        return tuple(self._durable)
+
+    @property
+    def checkpoints(self) -> tuple[Checkpoint, ...]:
+        return tuple(self._checkpoints)
+
+    @property
+    def unflushed(self) -> int:
+        return len(self._buffer)
+
+    # Test hook: deliberately damage the durable tail to prove recovery
+    # detects it (checksums survive, fields do not match them).
+    def corrupt_tail_record(self, delta: float = 1.0) -> None:
+        """Flip the newest durable record's value without re-checksumming."""
+        if not self._durable:
+            raise ValueError("no durable records to corrupt")
+        record = self._durable[-1]
+        self._durable[-1] = dataclasses.replace(record,
+                                                value=record.value + delta)

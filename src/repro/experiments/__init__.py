@@ -10,6 +10,10 @@ from .faults import (FAULT_MTTFS_MS, FAULT_MTTR_MS, FAULT_POLICIES,
 from .figures import (FIG9_PHASE_MS, FIG9_RATIOS, FIG10_OMEGAS_MS,
                       FIG10_TAUS_MS, fig1, fig5, fig6, fig7, fig8, fig9,
                       fig10)
+from .recovery import (RECOVERY_CHECKPOINTS_MS, RECOVERY_CRASH_AT_MS,
+                       RECOVERY_DOWN_MS, RECOVERY_POLICIES,
+                       RECOVERY_REPLICAS, recovery_crash_time,
+                       recovery_sweep)
 from .replication import (MetricSummary, compare_policies, replicate)
 from .report import format_series, format_table, save_csv
 from .runner import QCSource, free_qc_source, run_simulation
@@ -34,6 +38,13 @@ __all__ = [
     "MetricSummary",
     "POLICY_NAMES",
     "QCSource",
+    "RECOVERY_CHECKPOINTS_MS",
+    "RECOVERY_CRASH_AT_MS",
+    "RECOVERY_DOWN_MS",
+    "RECOVERY_POLICIES",
+    "RECOVERY_REPLICAS",
+    "recovery_crash_time",
+    "recovery_sweep",
     "SCALES",
     "chosen_scale",
     "compare_policies",

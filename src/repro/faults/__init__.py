@@ -16,8 +16,9 @@ routing and failover in :mod:`repro.cluster`, overload shedding in
 """
 
 from .injector import FaultInjector
-from .plan import (CRASH, KINDS, RECOVER, RESUME_UPDATES, SPIKE_END,
-                   SPIKE_START, STALL_UPDATES, FaultEvent, FaultPlan)
+from .plan import (CRASH, KINDS, PORTAL_CRASH, PORTAL_RECOVER, RECOVER,
+                   RESUME_UPDATES, SPIKE_END, SPIKE_START, STALL_UPDATES,
+                   FaultEvent, FaultPlan)
 
 __all__ = [
     "CRASH",
@@ -25,6 +26,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "KINDS",
+    "PORTAL_CRASH",
+    "PORTAL_RECOVER",
     "RECOVER",
     "RESUME_UPDATES",
     "SPIKE_END",

@@ -6,8 +6,15 @@ time order and, at each event's instant:
 * ``crash`` / ``recover`` — calls
   :meth:`~repro.cluster.portal.ReplicatedPortal.crash_replica` /
   :meth:`~repro.cluster.portal.ReplicatedPortal.recover_replica` on the
-  attached portal (both are idempotent, so merged plans that double-crash
-  a replica are harmless);
+  attached portal (plans that would double-crash a replica or recover
+  one that never went down are rejected by
+  :class:`~repro.faults.plan.FaultPlan` validation at construction);
+* ``portal_crash`` / ``portal_recover`` — a portal-wide outage:
+  :meth:`~repro.cluster.portal.ReplicatedPortal.crash_portal` takes every
+  replica down at once and
+  :meth:`~repro.cluster.portal.ReplicatedPortal.recover_portal` brings
+  them all back (with a durability layer attached, each replica recovers
+  from its last checkpoint plus the durable WAL tail);
 * ``stall_updates`` / ``resume_updates`` — flips a gate the cluster
   runner's update source waits on.  While stalled, the source is parked;
   on resume every withheld update is delivered in one burst at the resume
@@ -28,8 +35,9 @@ import typing
 
 from repro.sim import Environment, Event
 
-from .plan import (CRASH, RECOVER, RESUME_UPDATES, SPIKE_END, SPIKE_START,
-                   STALL_UPDATES, FaultPlan)
+from .plan import (CRASH, PORTAL_CRASH, PORTAL_RECOVER, RECOVER,
+                   RESUME_UPDATES, SPIKE_END, SPIKE_START, STALL_UPDATES,
+                   FaultPlan)
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.portal import ReplicatedPortal
@@ -97,6 +105,10 @@ class FaultInjector:
             self.portal.crash_replica(event.replica)
         elif event.kind == RECOVER:
             self.portal.recover_replica(event.replica)
+        elif event.kind == PORTAL_CRASH:
+            self.portal.crash_portal()
+        elif event.kind == PORTAL_RECOVER:
+            self.portal.recover_portal()
         elif event.kind == STALL_UPDATES:
             if self._stall_released is None:
                 self._stall_released = self.env.event()

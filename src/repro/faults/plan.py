@@ -25,13 +25,15 @@ from repro.sim.rng import RandomStream
 #: Event kinds understood by the injector.
 CRASH = "crash"
 RECOVER = "recover"
+PORTAL_CRASH = "portal_crash"
+PORTAL_RECOVER = "portal_recover"
 STALL_UPDATES = "stall_updates"
 RESUME_UPDATES = "resume_updates"
 SPIKE_START = "spike_start"
 SPIKE_END = "spike_end"
 
-KINDS = frozenset({CRASH, RECOVER, STALL_UPDATES, RESUME_UPDATES,
-                   SPIKE_START, SPIKE_END})
+KINDS = frozenset({CRASH, RECOVER, PORTAL_CRASH, PORTAL_RECOVER,
+                   STALL_UPDATES, RESUME_UPDATES, SPIKE_START, SPIKE_END})
 
 #: Kinds that name a target replica.
 REPLICA_KINDS = frozenset({CRASH, RECOVER})
@@ -75,6 +77,62 @@ class FaultPlan:
     def __init__(self, events: typing.Iterable[FaultEvent] = ()) -> None:
         self.events: tuple[FaultEvent, ...] = tuple(
             sorted(events, key=lambda e: (e.at_ms, e.kind)))
+        self._validate()
+
+    def _validate(self) -> None:
+        """Reject schedules that cannot describe a fail-stop history.
+
+        Walking the time-sorted events with per-replica health state:
+        crashing an already-down replica, recovering a replica that never
+        crashed, double portal crashes, and portal recoveries without a
+        preceding portal crash are all plan bugs — injecting them would
+        silently no-op (the portal's lifecycle hooks are idempotent) and
+        make the plan lie about the outage history it encodes.  Replica
+        events inside a portal-wide outage are rejected for the same
+        reason: the portal crash already owns every replica's state.
+        """
+        down: set[int] = set()
+        portal_down = False
+        for event in self.events:
+            if event.kind == CRASH:
+                replica = typing.cast(int, event.replica)
+                if portal_down:
+                    raise ValueError(
+                        f"invalid fault plan: crash of replica {replica} "
+                        f"at t={event.at_ms:g} falls inside a portal-wide "
+                        f"outage (every replica is already down)")
+                if replica in down:
+                    raise ValueError(
+                        f"invalid fault plan: replica {replica} is "
+                        f"crashed again at t={event.at_ms:g} while still "
+                        f"down (missing recover event?)")
+                down.add(replica)
+            elif event.kind == RECOVER:
+                replica = typing.cast(int, event.replica)
+                if portal_down:
+                    raise ValueError(
+                        f"invalid fault plan: recovery of replica "
+                        f"{replica} at t={event.at_ms:g} falls inside a "
+                        f"portal-wide outage (use portal_recover)")
+                if replica not in down:
+                    raise ValueError(
+                        f"invalid fault plan: replica {replica} is "
+                        f"recovered at t={event.at_ms:g} without a prior "
+                        f"crash")
+                down.discard(replica)
+            elif event.kind == PORTAL_CRASH:
+                if portal_down:
+                    raise ValueError(
+                        f"invalid fault plan: portal crashed again at "
+                        f"t={event.at_ms:g} while still down")
+                portal_down = True
+            elif event.kind == PORTAL_RECOVER:
+                if not portal_down:
+                    raise ValueError(
+                        f"invalid fault plan: portal recovery at "
+                        f"t={event.at_ms:g} without a prior portal crash")
+                portal_down = False
+                down.clear()  # portal recovery brings every replica back
 
     def __len__(self) -> int:
         return len(self.events)
@@ -119,6 +177,15 @@ class FaultPlan:
             raise ValueError(f"down_ms must be positive, got {down_ms}")
         return cls([FaultEvent(at_ms, CRASH, replica=replica),
                     FaultEvent(at_ms + down_ms, RECOVER, replica=replica)])
+
+    @classmethod
+    def portal_crash(cls, at_ms: float, down_ms: float) -> "FaultPlan":
+        """The whole portal fails at ``at_ms`` and returns ``down_ms``
+        later — every replica crashes and recovers together."""
+        if down_ms <= 0:
+            raise ValueError(f"down_ms must be positive, got {down_ms}")
+        return cls([FaultEvent(at_ms, PORTAL_CRASH),
+                    FaultEvent(at_ms + down_ms, PORTAL_RECOVER)])
 
     @classmethod
     def update_stall(cls, at_ms: float, duration_ms: float) -> "FaultPlan":

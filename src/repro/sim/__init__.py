@@ -15,6 +15,7 @@ from .environment import Environment, Infinity
 from .errors import (EventLifecycleError, Interrupt, ProcessError,
                      SchedulingError, SimulationError)
 from .events import Condition, ConditionValue, Event, Timeout, all_of, any_of
+from .invariants import InvariantMonitor, InvariantViolation
 from .monitor import Counter, CounterSet, Tally, TimeSeries, TimeWeighted
 from .process import Process
 from .rng import RandomStream, StreamRegistry
@@ -29,6 +30,8 @@ __all__ = [
     "EventLifecycleError",
     "Infinity",
     "Interrupt",
+    "InvariantMonitor",
+    "InvariantViolation",
     "Process",
     "ProcessError",
     "RandomStream",

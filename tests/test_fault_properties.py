@@ -16,7 +16,8 @@ from hypothesis import strategies as st
 
 from repro.cluster import HedgedRouter, run_cluster_simulation
 from repro.faults import FaultEvent, FaultPlan
-from repro.faults.plan import (CRASH, RECOVER, SPIKE_END, SPIKE_START,
+from repro.faults.plan import (CRASH, PORTAL_CRASH, PORTAL_RECOVER,
+                               RECOVER, SPIKE_END, SPIKE_START,
                                STALL_UPDATES, RESUME_UPDATES)
 from repro.qc.generator import QCFactory
 from repro.scheduling import make_scheduler
@@ -42,26 +43,34 @@ class _VerifyingRouter(HedgedRouter):
         return index
 
 
-def outage(spec):
-    replica, at_ms, down_ms = spec
-    return FaultPlan([FaultEvent(at_ms, CRASH, replica=replica),
-                      FaultEvent(at_ms + down_ms, RECOVER,
-                                 replica=replica)])
-
-
 times = st.floats(min_value=0.0, max_value=DURATION_MS,
                   allow_nan=False, allow_infinity=False)
 durations = st.floats(min_value=50.0, max_value=6_000.0,
                       allow_nan=False, allow_infinity=False)
-outages = st.tuples(st.integers(min_value=0, max_value=1), times,
-                    durations)
+gaps = st.floats(min_value=1.0, max_value=4_000.0,
+                 allow_nan=False, allow_infinity=False)
 
 
 @st.composite
 def fault_plans(draw):
-    plan = FaultPlan.none()
-    for spec in draw(st.lists(outages, max_size=3)):
-        plan = plan.merged(outage(spec))
+    """Well-formed schedules: per-replica outages never overlap
+    themselves (FaultPlan validation rejects double-crashes), and a
+    portal-wide outage replaces replica-level ones when drawn."""
+    events = []
+    if draw(st.booleans()):
+        at = draw(times)
+        events.append(FaultEvent(at, PORTAL_CRASH))
+        events.append(FaultEvent(at + draw(durations), PORTAL_RECOVER))
+    else:
+        for replica in (0, 1):
+            t = draw(times)
+            for _ in range(draw(st.integers(min_value=0, max_value=2))):
+                down = draw(durations)
+                events.append(FaultEvent(t, CRASH, replica=replica))
+                events.append(
+                    FaultEvent(t + down, RECOVER, replica=replica))
+                t += down + draw(gaps)
+    plan = FaultPlan(events)
     if draw(st.booleans()):
         plan = plan.merged(FaultPlan(
             [FaultEvent(draw(times), STALL_UPDATES),
@@ -85,12 +94,17 @@ class TestFaultScheduleInvariants:
         result = run_cluster_simulation(
             2, lambda: make_scheduler(policy), TRACE,
             QCFactory.balanced(), router=router, master_seed=1,
-            fault_plan=plan)
+            fault_plan=plan, invariants=True)
 
         assert 0.0 <= result.total_percent <= 1.0
         assert 0.0 <= result.qos_percent <= 1.0
         assert 0.0 <= result.qod_percent <= 1.0
         assert 0.0 <= result.availability <= 1.0
+        assert 0.0 <= result.replica_availability <= 1.0
+        # The union of outage intervals never exceeds the replica-ms sum
+        # and availability ranks accordingly.
+        assert result.downtime_union_ms <= result.downtime_ms + 1e-6
+        assert result.invariants_checked
 
         c = result.counters
         assert c.get("queries_submitted", 0) == (
