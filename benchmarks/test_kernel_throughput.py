@@ -5,7 +5,12 @@ reproduced results: the event-loop rate of the DES kernel and the
 end-to-end simulated-transaction rate of the full stack.  They guard
 against performance regressions that would make the full-scale
 experiments impractical (the 30-minute trace replays ~580k transactions).
+Measured rates are appended to ``benchmarks/results/kernel_throughput.json``
+so the performance trajectory across commits has data.
 """
+
+import json
+import platform
 
 from repro.experiments.runner import run_simulation
 from repro.qc.generator import QCFactory
@@ -14,6 +19,20 @@ from repro.sim import Environment
 from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
 
 N_TIMEOUT_EVENTS = 50_000
+
+
+def _record(results_dir, name: str, mean_s: float, rate: float,
+            rate_unit: str) -> None:
+    """Merge one measurement into the kernel-throughput JSON artifact."""
+    path = results_dir / "kernel_throughput.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload[name] = {
+        "mean_s": mean_s,
+        "rate": rate,
+        "rate_unit": rate_unit,
+        "python": platform.python_version(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def _timeout_storm():
@@ -30,13 +49,15 @@ def _timeout_storm():
     return fired[0]
 
 
-def test_kernel_event_rate(benchmark):
+def test_kernel_event_rate(benchmark, results_dir):
     fired = benchmark(_timeout_storm)
     assert fired == N_TIMEOUT_EVENTS
     # Sanity floor: a pure-Python DES should clear well over 100k
     # timeout events per second on any modern machine.
     events_per_second = N_TIMEOUT_EVENTS / benchmark.stats["mean"]
     assert events_per_second > 100_000
+    _record(results_dir, "kernel_event_rate", benchmark.stats["mean"],
+            events_per_second, "events/s")
 
 
 def _end_to_end_slice():
@@ -47,7 +68,7 @@ def _end_to_end_slice():
     return result, len(trace.queries) + len(trace.updates)
 
 
-def test_end_to_end_transaction_rate(benchmark):
+def test_end_to_end_transaction_rate(benchmark, results_dir):
     result, n_txns = benchmark.pedantic(_end_to_end_slice, rounds=3,
                                         iterations=1, warmup_rounds=1)
     assert result.counters["queries_submitted"] > 0
@@ -55,3 +76,5 @@ def test_end_to_end_transaction_rate(benchmark):
     # The full 30-minute trace (~580k txns) must stay replayable in
     # minutes: demand at least 10k simulated transactions per second.
     assert txns_per_second > 10_000
+    _record(results_dir, "end_to_end_transaction_rate",
+            benchmark.stats["mean"], txns_per_second, "txns/s")

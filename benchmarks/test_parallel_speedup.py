@@ -1,0 +1,85 @@
+"""Wall-clock benchmark of the parallel sweep runner.
+
+Times the Figure-8 sweep (UH / QH / QUTS across the Table 4 spectrum)
+sequentially and with a four-worker pool, verifies the two runs are
+bit-identical, and records the measurement — including the machine's
+core count, which bounds the achievable speedup — to
+``benchmarks/results/parallel_speedup.json`` for CI artifact upload.
+
+The sweep replays a fixed 20-second trace slice regardless of
+``REPRO_SCALE`` so the benchmark stays tractable at every scale; the
+speedup is a property of the fan-out machinery, not of the trace length.
+"""
+
+import json
+import os
+import pickle
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import _spectrum_tasks
+from repro.parallel import run_tasks
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+
+POLICIES = ("UH", "QH", "QUTS")
+WORKERS = 4
+SWEEP_TRACE_MS = 20_000.0
+#: Required 4-worker speedup — only enforceable with enough cores.
+MIN_SPEEDUP = 2.5
+
+
+def _fingerprint(result) -> bytes:
+    rho = (None if result.rho_series is None
+           else tuple(result.rho_series.items()))
+    return pickle.dumps((result.scheduler_name, result.qos_percent,
+                         result.qod_percent, result.total_percent,
+                         result.mean_response_time, result.mean_staleness,
+                         sorted(result.counters.items()), rho))
+
+
+def test_parallel_speedup_fig8(results_dir):
+    config = ExperimentConfig()
+    trace = StockWorkloadGenerator(
+        WorkloadSpec().scaled(SWEEP_TRACE_MS),
+        config.workload_seed).generate()
+    tasks = [task for name in POLICIES
+             for task in _spectrum_tasks(name, config, trace)]
+
+    start = time.perf_counter()
+    sequential = run_tasks(tasks, 1)
+    sequential_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = run_tasks(tasks, WORKERS)
+    parallel_s = time.perf_counter() - start
+
+    # The headline guarantee: fan-out never changes a single bit.
+    for task, a, b in zip(tasks, sequential, pooled):
+        assert _fingerprint(a) == _fingerprint(b), task.key
+
+    speedup = sequential_s / parallel_s if parallel_s > 0 else 0.0
+    cores = os.cpu_count() or 1
+    payload = {
+        "sweep": "fig8 (UH/QH/QUTS x Table-4 spectrum)",
+        "trace_ms": SWEEP_TRACE_MS,
+        "n_tasks": len(tasks),
+        "workers": WORKERS,
+        "cpu_cores": cores,
+        "sequential_s": round(sequential_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+        "speedup_enforced": cores >= WORKERS,
+    }
+    path = results_dir / "parallel_speedup.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nparallel speedup: {speedup:.2f}x on {cores} core(s) "
+          f"({sequential_s:.1f}s -> {parallel_s:.1f}s)\n[saved to {path}]")
+
+    if cores >= WORKERS:
+        # With >= 4 cores the 27-task sweep must parallelise materially.
+        assert speedup >= MIN_SPEEDUP, payload
+    else:
+        # Core-starved machine: the pool cannot beat the clock, but its
+        # overhead must stay bounded (and bit-identity held above).
+        assert speedup > 0.2, payload

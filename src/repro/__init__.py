@@ -17,6 +17,8 @@ The package layers:
   scheduler;
 * :mod:`repro.workload` — a synthetic Stock.com/NYSE trace generator;
 * :mod:`repro.metrics` — profit ledgers and run results;
+* :mod:`repro.parallel` — deterministic multiprocess fan-out of
+  experiment sweeps (bit-identical to sequential runs);
 * :mod:`repro.faults` — deterministic fault injection (replica crashes,
   portal-wide outages, update stalls, load spikes) for robustness
   experiments, with write-ahead logging + checkpoint recovery
@@ -39,6 +41,7 @@ from repro.db import (Database, DatabaseServer, DurabilityConfig, Query,
 from repro.experiments import ExperimentConfig, run_simulation
 from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.metrics import ProfitLedger, SimulationResult
+from repro.parallel import Task, run_tasks, task_seed
 from repro.sim.invariants import InvariantMonitor, InvariantViolation
 from repro.qc import (CompositionMode, LinearProfit, PhasedQCFactory,
                       PiecewiseLinearProfit, QCFactory, QualityContract,
@@ -74,6 +77,7 @@ __all__ = [
     "Query",
     "ServerConfig",
     "SimulationResult",
+    "Task",
     "StepProfit",
     "StockWorkloadGenerator",
     "StreamRegistry",
@@ -87,5 +91,7 @@ __all__ = [
     "optimal_rho",
     "paper_trace",
     "run_simulation",
+    "run_tasks",
+    "task_seed",
     "__version__",
 ]

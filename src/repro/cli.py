@@ -39,6 +39,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=("smoke", "standard", "full"),
                         help="workload scale (default: $REPRO_SCALE or "
                              "'standard')")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for sweep fan-out "
+                             "(default: $REPRO_WORKERS or 1); results "
+                             "are bit-identical for any value")
     parser.add_argument("--policy", default="QUTS",
                         help="policy for 'run' (FIFO/UH/QH/QUTS/...)")
     parser.add_argument("--seed", type=int, default=1,
@@ -55,7 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    config = ExperimentConfig.from_env(args.scale)
+    config = ExperimentConfig.from_env(args.scale, workers=args.workers)
     handler = _HANDLERS[args.experiment]
     try:
         handler(config, args)

@@ -69,8 +69,8 @@ class Transaction:
     """Common state shared by queries and updates."""
 
     __slots__ = (
-        "txn_id", "arrival_time", "exec_time", "remaining", "status",
-        "restarts", "start_time", "finish_time", "preemptions",
+        "txn_id", "arrival_time", "exec_time", "remaining", "_status",
+        "restarts", "start_time", "finish_time", "preemptions", "_queue",
     )
 
     def __init__(self, arrival_time: float, exec_time: float) -> None:
@@ -81,7 +81,12 @@ class Transaction:
         self.exec_time = exec_time
         #: Service time still owed; decremented as the CPU runs the txn.
         self.remaining = exec_time
-        self.status = TxnStatus.CREATED
+        self._status = TxnStatus.CREATED
+        #: The TransactionQueue currently holding this transaction (back
+        #: reference maintained by the queue itself), or None.  Lets the
+        #: queue learn about deaths *immediately* — e.g. an update
+        #: superseded while waiting — so its O(1) live count stays exact.
+        self._queue = None
         #: Number of 2PL-HP restarts suffered (work thrown away).
         self.restarts = 0
         #: First time the transaction got the CPU (None until then).
@@ -92,6 +97,20 @@ class Transaction:
         self.preemptions = 0
 
     # ------------------------------------------------------------------
+    @property
+    def status(self) -> TxnStatus:
+        return self._status
+
+    @status.setter
+    def status(self, new: TxnStatus) -> None:
+        old = self._status
+        self._status = new
+        if (self._queue is not None
+                and new not in LIVE_STATUSES and old in LIVE_STATUSES):
+            # Died while queued (e.g. superseded by a newer update):
+            # tell the owning queue so its live accounting stays exact.
+            self._queue._note_death(self)
+
     @property
     def is_query(self) -> bool:
         return isinstance(self, Query)

@@ -20,6 +20,7 @@ from __future__ import annotations
 import typing
 
 from repro.db.server import ServerConfig
+from repro.parallel import Task, run_tasks
 from repro.qc.generator import PhasedQCFactory, QCFactory
 from repro.scheduling import (InheritanceQUTSScheduler, QUTSScheduler,
                               make_priority, make_qh, make_uh)
@@ -48,20 +49,56 @@ def _profit_cells(result) -> Row:
             "total%": result.total_percent}
 
 
+# ----------------------------------------------------------------------
+# Worker task functions (module-level so they pickle; schedulers are
+# constructed inside the worker — they are stateful once bound)
+# ----------------------------------------------------------------------
+def _rho_task(fixed_rho, trace, factory, master_seed):
+    scheduler = (QUTSScheduler() if fixed_rho is None
+                 else QUTSScheduler(fixed_rho=fixed_rho))
+    return run_simulation(scheduler, trace, factory,
+                          master_seed=master_seed)
+
+
+def _low_level_task(kind, trace, factory, master_seed):
+    if kind == "inherited":
+        scheduler = InheritanceQUTSScheduler()
+    elif kind == "uh":
+        scheduler = make_uh()
+    else:
+        scheduler = QUTSScheduler(query_policy=make_priority(kind))
+    return run_simulation(scheduler, trace, factory,
+                          master_seed=master_seed)
+
+
+def _invalidation_task(invalidation, trace, factory, master_seed):
+    return run_simulation(make_qh(), trace, factory,
+                          master_seed=master_seed,
+                          invalidation=invalidation)
+
+
+def _preemption_task(policy_name, semantics, trace, factory, master_seed):
+    scheduler = make_qh() if policy_name == "QH" else QUTSScheduler()
+    return run_simulation(
+        scheduler, trace, factory, master_seed=master_seed,
+        server_config=ServerConfig(update_preemption=semantics))
+
+
 def ablation_rho(config: ExperimentConfig,
                  trace: Trace | None = None) -> list[Row]:
     """Fixed-ρ grid + the adaptive scheduler, Figure 9 workload."""
     trace = trace if trace is not None else config.trace()
     factory = _flip_flop_factory(trace)
-    rows: list[Row] = []
-    for rho in FIXED_RHOS:
-        result = run_simulation(QUTSScheduler(fixed_rho=rho), trace,
-                                factory, master_seed=config.run_seed)
-        rows.append({"rho": f"fixed {rho:.1f}", **_profit_cells(result)})
-    adaptive = run_simulation(QUTSScheduler(), trace, factory,
-                              master_seed=config.run_seed)
-    rows.append({"rho": "adaptive (Eq. 4-6)", **_profit_cells(adaptive)})
-    return rows
+    points = list(FIXED_RHOS) + [None]  # None = adaptive (Eq. 4-6)
+    results = run_tasks(
+        [Task(_rho_task, (rho, trace, factory, config.run_seed),
+              key="rho=adaptive" if rho is None else f"rho={rho:g}")
+         for rho in points],
+        config.workers)
+    return [{"rho": ("adaptive (Eq. 4-6)" if rho is None
+                     else f"fixed {rho:.1f}"),
+             **_profit_cells(result)}
+            for rho, result in zip(points, results)]
 
 
 def ablation_low_level(config: ExperimentConfig,
@@ -69,22 +106,15 @@ def ablation_low_level(config: ExperimentConfig,
     """QUTS low-level plug-ins (balanced QCs), with UH for scale."""
     trace = trace if trace is not None else config.trace()
     factory = QCFactory.balanced()
-    rows: list[Row] = []
-    for policy_name in QUERY_POLICIES:
-        scheduler = QUTSScheduler(query_policy=make_priority(policy_name))
-        result = run_simulation(scheduler, trace, factory,
-                                master_seed=config.run_seed)
-        rows.append({"low_level": f"queries: {policy_name}",
-                     **_profit_cells(result)})
-    inherited = run_simulation(InheritanceQUTSScheduler(), trace, factory,
-                               master_seed=config.run_seed)
-    rows.append({"low_level": "updates: inherited-QoD",
-                 **_profit_cells(inherited)})
-    yardstick = run_simulation(make_uh(), trace, factory,
-                               master_seed=config.run_seed)
-    rows.append({"low_level": "(UH baseline, for scale)",
-                 **_profit_cells(yardstick)})
-    return rows
+    kinds = list(QUERY_POLICIES) + ["inherited", "uh"]
+    labels = ([f"queries: {name}" for name in QUERY_POLICIES]
+              + ["updates: inherited-QoD", "(UH baseline, for scale)"])
+    results = run_tasks(
+        [Task(_low_level_task, (kind, trace, factory, config.run_seed),
+              key=kind) for kind in kinds],
+        config.workers)
+    return [{"low_level": label, **_profit_cells(result)}
+            for label, result in zip(labels, results)]
 
 
 def ablation_invalidation(config: ExperimentConfig,
@@ -92,20 +122,21 @@ def ablation_invalidation(config: ExperimentConfig,
     """Update register table on vs off (QH, balanced QCs)."""
     trace = trace if trace is not None else config.trace()
     factory = QCFactory.balanced()
-    rows: list[Row] = []
-    for invalidation in (True, False):
-        result = run_simulation(make_qh(), trace, factory,
-                                master_seed=config.run_seed,
-                                invalidation=invalidation)
-        rows.append({
-            "register table": "on (paper)" if invalidation else "off",
-            **_profit_cells(result),
-            "uu": result.mean_staleness,
-            "superseded": result.counters.get("updates_superseded", 0),
-            "unfinished_updates":
-                result.counters.get("updates_unfinished", 0),
-        })
-    return rows
+    settings = (True, False)
+    results = run_tasks(
+        [Task(_invalidation_task, (invalidation, trace, factory,
+                                   config.run_seed),
+              key=f"invalidation={invalidation}")
+         for invalidation in settings],
+        config.workers)
+    return [{
+        "register table": "on (paper)" if invalidation else "off",
+        **_profit_cells(result),
+        "uu": result.mean_staleness,
+        "superseded": result.counters.get("updates_superseded", 0),
+        "unfinished_updates":
+            result.counters.get("updates_unfinished", 0),
+    } for invalidation, result in zip(settings, results)]
 
 
 def ablation_preemption(config: ExperimentConfig,
@@ -113,20 +144,21 @@ def ablation_preemption(config: ExperimentConfig,
     """Restart vs suspend semantics for preempted updates (QH, QUTS)."""
     trace = trace if trace is not None else config.trace()
     factory = QCFactory.balanced()
-    rows: list[Row] = []
-    for policy_name, make in (("QH", make_qh), ("QUTS", QUTSScheduler)):
-        for semantics in ("restart", "suspend"):
-            result = run_simulation(
-                make(), trace, factory, master_seed=config.run_seed,
-                server_config=ServerConfig(update_preemption=semantics))
-            rows.append({
-                "policy": policy_name,
-                "preempted update": semantics,
-                **_profit_cells(result),
-                "update_restarts":
-                    result.counters.get("restarts_updates", 0),
-            })
-    return rows
+    combos = [(policy_name, semantics)
+              for policy_name in ("QH", "QUTS")
+              for semantics in ("restart", "suspend")]
+    results = run_tasks(
+        [Task(_preemption_task, (policy_name, semantics, trace, factory,
+                                 config.run_seed),
+              key=f"{policy_name}/{semantics}")
+         for policy_name, semantics in combos],
+        config.workers)
+    return [{
+        "policy": policy_name,
+        "preempted update": semantics,
+        **_profit_cells(result),
+        "update_restarts": result.counters.get("restarts_updates", 0),
+    } for (policy_name, semantics), result in zip(combos, results)]
 
 
 #: Registry for the CLI.

@@ -18,6 +18,7 @@ import dataclasses
 import os
 import typing
 
+from repro.parallel import resolve_workers
 from repro.qc.generator import QCFactory
 from repro.workload.synthetic import (PAPER_DURATION_MS,
                                       StockWorkloadGenerator, WorkloadSpec)
@@ -52,6 +53,9 @@ class ExperimentConfig:
     scale: str = DEFAULT_SCALE
     workload_seed: int = 7
     run_seed: int = 1
+    #: Worker processes for sweep fan-out (1 = sequential in-process).
+    #: Results are bit-identical for any value — see :mod:`repro.parallel`.
+    workers: int = 1
 
     @property
     def duration_ms(self) -> float:
@@ -66,8 +70,12 @@ class ExperimentConfig:
                                       self.workload_seed).generate()
 
     @classmethod
-    def from_env(cls, scale: str | None = None) -> "ExperimentConfig":
-        return cls(scale=chosen_scale(scale))
+    def from_env(cls, scale: str | None = None,
+                 workers: int | None = None) -> "ExperimentConfig":
+        """Config from ``$REPRO_SCALE`` / ``$REPRO_WORKERS`` with optional
+        explicit overrides (explicit > environment > default)."""
+        return cls(scale=chosen_scale(scale),
+                   workers=resolve_workers(workers))
 
 
 def table4_grid() -> list[tuple[float, QCFactory]]:

@@ -21,6 +21,7 @@ import typing
 
 from repro.cluster import ClusterResult, HedgedRouter, run_cluster_simulation
 from repro.faults import FaultPlan
+from repro.parallel import Task, run_tasks
 from repro.qc.generator import QCFactory
 from repro.scheduling import make_scheduler
 from repro.sim.rng import StreamRegistry
@@ -73,26 +74,39 @@ def fault_sweep(config: ExperimentConfig, *,
     plans = sample_fault_plans(config, n_replicas=n_replicas,
                                mttfs_ms=mttfs_ms, mttr_ms=mttr_ms,
                                horizon_ms=trace.duration_ms)
+    # Baselines and fault runs are all independent; fan the whole
+    # policy × MTTF grid out at once and assemble rows afterwards.
+    points = [(policy, mttf_ms) for policy in policies
+              for mttf_ms in (None, *mttfs_ms)]
+    results = run_tasks(
+        [Task(_fault_task,
+              (policy, trace, n_replicas,
+               None if mttf_ms is None else plans[mttf_ms],
+               config.run_seed),
+              key=f"{policy}/mttf="
+                  f"{'inf' if mttf_ms is None else f'{mttf_ms:g}'}")
+         for policy, mttf_ms in points],
+        config.workers)
+    by_point = dict(zip(points, results))
     rows: list[dict[str, typing.Any]] = []
     for policy in policies:
-        baseline = _run(policy, trace, config, n_replicas, None)
+        baseline = by_point[(policy, None)]
         rows.append(_row(policy, float("inf"), baseline,
                          baseline_percent=baseline.total_percent))
         for mttf_ms in mttfs_ms:
-            result = _run(policy, trace, config, n_replicas,
-                          plans[mttf_ms])
-            rows.append(_row(policy, mttf_ms / 1000.0, result,
+            rows.append(_row(policy, mttf_ms / 1000.0,
+                             by_point[(policy, mttf_ms)],
                              baseline_percent=baseline.total_percent))
     return rows
 
 
-def _run(policy: str, trace, config: ExperimentConfig, n_replicas: int,
-         plan: FaultPlan | None) -> ClusterResult:
+def _fault_task(policy: str, trace, n_replicas: int,
+                plan: FaultPlan | None, master_seed: int) -> ClusterResult:
     # Fresh router per run: routers are stateful (cycle position, hedges).
     return run_cluster_simulation(
         n_replicas, lambda: make_scheduler(policy), trace,
         QCFactory.balanced(), router=HedgedRouter(),
-        master_seed=config.run_seed, fault_plan=plan)
+        master_seed=master_seed, fault_plan=plan)
 
 
 def _row(policy: str, mttf_s: float, result: ClusterResult,

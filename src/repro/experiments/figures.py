@@ -13,6 +13,7 @@ import statistics
 import typing
 
 from repro.metrics.results import SimulationResult, improvement_percent
+from repro.parallel import Task, run_tasks
 from repro.qc.generator import PhasedQCFactory, QCFactory
 from repro.scheduling import QUTSScheduler, make_scheduler
 from repro.workload import stats as trace_stats
@@ -21,6 +22,23 @@ from repro.workload.traces import Trace
 
 from .config import ExperimentConfig, POLICY_NAMES, table4_grid
 from .runner import run_simulation
+
+
+# ----------------------------------------------------------------------
+# Worker task functions (module-level so they pickle; schedulers are
+# constructed *inside* the task — they are stateful once bound)
+# ----------------------------------------------------------------------
+def _policy_run_task(policy: str, trace: Trace, qc_source,
+                     master_seed: int) -> SimulationResult:
+    return run_simulation(make_scheduler(policy), trace, qc_source,
+                          master_seed=master_seed)
+
+
+def _quts_param_task(param: str, value: float, trace: Trace, qc_source,
+                     master_seed: int) -> SimulationResult:
+    scheduler = QUTSScheduler(**{param: value})
+    return run_simulation(scheduler, trace, qc_source,
+                          master_seed=master_seed)
 
 
 # ----------------------------------------------------------------------
@@ -35,16 +53,16 @@ def fig1(config: ExperimentConfig | None = None,
     """
     config = config or ExperimentConfig.from_env()
     trace = trace if trace is not None else config.trace()
-    rows = []
-    for name in ("FIFO", "FIFO-UH", "FIFO-QH"):
-        result = run_simulation(make_scheduler(name), trace,
-                                master_seed=config.run_seed)
-        rows.append({
-            "policy": name,
-            "response_time_ms": result.mean_response_time,
-            "staleness_uu": result.mean_staleness,
-        })
-    return rows
+    names = ("FIFO", "FIFO-UH", "FIFO-QH")
+    results = run_tasks(
+        [Task(_policy_run_task, (name, trace, None, config.run_seed),
+              key=name) for name in names],
+        config.workers)
+    return [{
+        "policy": name,
+        "response_time_ms": result.mean_response_time,
+        "staleness_uu": result.mean_staleness,
+    } for name, result in zip(names, results)]
 
 
 # ----------------------------------------------------------------------
@@ -94,29 +112,42 @@ def fig6(config: ExperimentConfig | None = None,
     """Step vs linear QCs for the four policies (balanced preferences)."""
     config = config or ExperimentConfig.from_env()
     trace = trace if trace is not None else config.trace()
-    out: dict[str, list[dict]] = {}
-    for shape in ("step", "linear"):
-        factory = QCFactory.balanced(shape=shape)  # type: ignore[arg-type]
-        rows = []
-        for name in POLICY_NAMES:
-            result = run_simulation(make_scheduler(name), trace, factory,
-                                    master_seed=config.run_seed)
-            rows.append(_profit_row(result))
-        out[shape] = rows
-    return out
+    shapes = ("step", "linear")
+    tasks = [
+        Task(_policy_run_task,
+             (name, trace,
+              QCFactory.balanced(shape=shape),  # type: ignore[arg-type]
+              config.run_seed),
+             key=f"{shape}/{name}")
+        for shape in shapes for name in POLICY_NAMES]
+    results = iter(run_tasks(tasks, config.workers))
+    return {shape: [_profit_row(next(results)) for __ in POLICY_NAMES]
+            for shape in shapes}
 
 
-def _spectrum(policy: str, config: ExperimentConfig,
-              trace: Trace) -> list[dict[str, typing.Any]]:
+def _spectrum_tasks(policy: str, config: ExperimentConfig,
+                    trace: Trace) -> list[Task]:
+    return [Task(_policy_run_task, (policy, trace, factory,
+                                    config.run_seed),
+                 key=f"{policy}/qod={qod_percent:g}")
+            for qod_percent, factory in table4_grid()]
+
+
+def _spectrum_rows(results: typing.Sequence[SimulationResult],
+                   ) -> list[dict[str, typing.Any]]:
     rows = []
-    for qod_percent, factory in table4_grid():
-        result = run_simulation(make_scheduler(policy), trace, factory,
-                                master_seed=config.run_seed)
+    for (qod_percent, __), result in zip(table4_grid(), results):
         row = _profit_row(result)
         row["QODmax%"] = qod_percent
         row["QOSmax%"] = result.ledger.qos_max_percent
         rows.append(row)
     return rows
+
+
+def _spectrum(policy: str, config: ExperimentConfig,
+              trace: Trace) -> list[dict[str, typing.Any]]:
+    return _spectrum_rows(run_tasks(_spectrum_tasks(policy, config, trace),
+                                    config.workers))
 
 
 def fig7(config: ExperimentConfig | None = None,
@@ -135,7 +166,15 @@ def fig8(config: ExperimentConfig | None = None,
     headline improvement factors."""
     config = config or ExperimentConfig.from_env()
     trace = trace if trace is not None else config.trace()
-    out = {name: _spectrum(name, config, trace) for name in policies}
+    # One flat task list over the full policy × Table-4 cross product, so
+    # --workers parallelises across policies as well as spectrum points.
+    tasks = [task for name in policies
+             for task in _spectrum_tasks(name, config, trace)]
+    flat = iter(run_tasks(tasks, config.workers))
+    n_points = len(table4_grid())
+    out: dict[str, list[dict[str, typing.Any]]] = {
+        name: _spectrum_rows([next(flat) for __ in range(n_points)])
+        for name in policies}
     if {"UH", "QH", "QUTS"} <= set(out):
         out["improvements"] = [{
             "QODmax%": quts_row["QODmax%"],
@@ -213,15 +252,17 @@ def fig10(config: ExperimentConfig | None = None,
     ratios = [FIG9_RATIOS[i % len(FIG9_RATIOS)] for i in range(n_phases)]
     factory = PhasedQCFactory.flip_flop(FIG9_PHASE_MS, ratios)
 
-    omega_rows = []
-    for omega in omegas:
-        result = run_simulation(QUTSScheduler(omega=omega), trace, factory,
-                                master_seed=config.run_seed)
-        omega_rows.append({"omega_ms": omega,
-                           "total%": result.total_percent})
-    tau_rows = []
-    for tau in taus:
-        result = run_simulation(QUTSScheduler(tau=tau), trace, factory,
-                                master_seed=config.run_seed)
-        tau_rows.append({"tau_ms": tau, "total%": result.total_percent})
+    sweep = ([("omega", omega) for omega in omegas]
+             + [("tau", tau) for tau in taus])
+    results = run_tasks(
+        [Task(_quts_param_task, (param, value, trace, factory,
+                                 config.run_seed),
+              key=f"{param}={value:g}") for param, value in sweep],
+        config.workers)
+    omega_rows = [{"omega_ms": value, "total%": result.total_percent}
+                  for (param, value), result in zip(sweep, results)
+                  if param == "omega"]
+    tau_rows = [{"tau_ms": value, "total%": result.total_percent}
+                for (param, value), result in zip(sweep, results)
+                if param == "tau"]
     return {"omega": omega_rows, "tau": tau_rows}

@@ -27,6 +27,7 @@ import typing
 from repro.cluster import ClusterResult, HedgedRouter, run_cluster_simulation
 from repro.db.wal import DurabilityConfig
 from repro.faults import FaultPlan
+from repro.parallel import Task, run_tasks
 from repro.qc.generator import QCFactory
 from repro.scheduling import make_scheduler
 
@@ -69,30 +70,42 @@ def recovery_sweep(config: ExperimentConfig, *,
     trace = trace if trace is not None else config.trace()
     crash_at = recovery_crash_time(trace.duration_ms)
     plan = FaultPlan.portal_crash(crash_at, down_ms)
+    # Every (policy, interval) cell is an independent run; fan the whole
+    # grid (baselines included) out and assemble rows afterwards.
+    points = [(policy, interval_ms) for policy in policies
+              for interval_ms in (None, *checkpoints_ms)]
+    results = run_tasks(
+        [Task(_recovery_task,
+              (policy, trace, n_replicas,
+               None if interval_ms is None else plan,
+               None if interval_ms is None else DurabilityConfig(
+                   checkpoint_interval_ms=interval_ms),
+               invariants, config.run_seed),
+              key=f"{policy}/ckpt="
+                  f"{'inf' if interval_ms is None else f'{interval_ms:g}'}")
+         for policy, interval_ms in points],
+        config.workers)
+    by_point = dict(zip(points, results))
     rows: list[dict[str, typing.Any]] = []
     for policy in policies:
-        baseline = _run(policy, trace, config, n_replicas, None, None,
-                        invariants)
+        baseline = by_point[(policy, None)]
         rows.append(_row(policy, float("inf"), crash_at, baseline,
                          baseline))
         for interval_ms in checkpoints_ms:
-            durability = DurabilityConfig(
-                checkpoint_interval_ms=interval_ms)
-            result = _run(policy, trace, config, n_replicas, plan,
-                          durability, invariants)
             rows.append(_row(policy, interval_ms / 1000.0, crash_at,
-                             result, baseline))
+                             by_point[(policy, interval_ms)], baseline))
     return rows
 
 
-def _run(policy: str, trace, config: ExperimentConfig, n_replicas: int,
-         plan: FaultPlan | None, durability: DurabilityConfig | None,
-         invariants: bool) -> ClusterResult:
+def _recovery_task(policy: str, trace, n_replicas: int,
+                   plan: FaultPlan | None,
+                   durability: DurabilityConfig | None,
+                   invariants: bool, master_seed: int) -> ClusterResult:
     # Fresh router per run: routers are stateful (cycle position, hedges).
     return run_cluster_simulation(
         n_replicas, lambda: make_scheduler(policy), trace,
         QCFactory.balanced(), router=HedgedRouter(),
-        master_seed=config.run_seed, fault_plan=plan,
+        master_seed=master_seed, fault_plan=plan,
         durability=durability, invariants=invariants)
 
 

@@ -23,6 +23,7 @@ import math
 import typing
 
 from repro.metrics.results import SimulationResult
+from repro.parallel import Task, run_tasks
 from repro.scheduling import make_scheduler
 from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
 
@@ -78,6 +79,17 @@ class MetricSummary:
                 "n": self.n}
 
 
+def _replication_task(policy: str, spec: WorkloadSpec, seed: int,
+                      qc_source) -> SimulationResult:
+    """One replication: regenerate the workload and run it (worker-side,
+    so trace generation parallelises too)."""
+    from .runner import run_simulation  # local import: avoid cycle
+
+    trace = StockWorkloadGenerator(spec, master_seed=seed).generate()
+    return run_simulation(make_scheduler(policy), trace, qc_source,
+                          master_seed=seed)
+
+
 def replicate(policy: str,
               qc_source_factory: typing.Callable[[], typing.Any],
               duration_ms: float = 60_000.0,
@@ -85,16 +97,17 @@ def replicate(policy: str,
               base_seed: int = 100,
               metrics: typing.Iterable[str] = ("total%",),
               spec: WorkloadSpec | None = None,
+              workers: int | None = None,
               ) -> dict[str, MetricSummary]:
     """Run ``policy`` over ``n_seeds`` independent workloads.
 
     Each replication regenerates the workload with its own seed and draws
     fresh contracts and scheduler randomness, so the spread reflects all
     sources of variation.  ``qc_source_factory`` is called once per
-    replication (QC sources may be stateful).
+    replication (QC sources may be stateful).  ``workers`` fans the
+    replications out over processes (see :mod:`repro.parallel`); results
+    are identical for any worker count.
     """
-    from .runner import run_simulation  # local import: avoid cycle
-
     if n_seeds <= 0:
         raise ValueError("n_seeds must be positive")
     unknown = set(metrics) - set(METRICS)
@@ -103,13 +116,14 @@ def replicate(policy: str,
                        f"choose from {sorted(METRICS)}")
 
     base_spec = (spec or WorkloadSpec()).scaled(duration_ms)
+    results = run_tasks(
+        [Task(_replication_task,
+              (policy, base_spec, base_seed + k, qc_source_factory()),
+              key=f"{policy}/seed={base_seed + k}")
+         for k in range(n_seeds)],
+        workers)
     samples: dict[str, list[float]] = {name: [] for name in metrics}
-    for k in range(n_seeds):
-        seed = base_seed + k
-        trace = StockWorkloadGenerator(base_spec, master_seed=seed
-                                       ).generate()
-        result = run_simulation(make_scheduler(policy), trace,
-                                qc_source_factory(), master_seed=seed)
+    for result in results:
         for name in metrics:
             samples[name].append(METRICS[name](result))
     return {name: MetricSummary(name, tuple(values))
@@ -123,6 +137,7 @@ def compare_policies(policies: typing.Sequence[str],
                      base_seed: int = 100,
                      metric: str = "total%",
                      spec: WorkloadSpec | None = None,
+                     workers: int | None = None,
                      ) -> dict[str, MetricSummary]:
     """Replicated comparison of several policies on *identical* workloads
     (common random numbers: policy ``i`` sees the same seeds as policy
@@ -130,5 +145,5 @@ def compare_policies(policies: typing.Sequence[str],
     return {policy: replicate(policy, qc_source_factory,
                               duration_ms=duration_ms, n_seeds=n_seeds,
                               base_seed=base_seed, metrics=(metric,),
-                              spec=spec)[metric]
+                              spec=spec, workers=workers)[metric]
             for policy in policies}

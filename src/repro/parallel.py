@@ -1,0 +1,152 @@
+"""Deterministic fan-out of independent simulation runs over processes.
+
+Every experiment in this library is a sweep of *independent* simulation
+runs: policies × Table-4 points, seeds, fault plans, checkpoint
+intervals.  Each run builds its whole random universe from its own
+arguments (:func:`repro.experiments.runner.run_simulation` creates a
+fresh :class:`~repro.sim.rng.StreamRegistry` from ``master_seed``), so
+runs share no mutable state and can execute in any order — or in any
+*process* — without perturbing each other.  :func:`run_tasks` exploits
+that: it fans a list of :class:`Task` objects out over a
+``multiprocessing`` pool and collects results **in submission order**,
+which makes a parallel sweep bit-identical to the sequential one.
+
+Determinism contract
+--------------------
+
+* Task functions must be module-level (picklable) and must derive all
+  randomness from their arguments.  Construct schedulers/routers *inside*
+  the task, not in the parent (they are stateful once bound).
+* Per-task seeds, where a sweep needs them, come from
+  :func:`task_seed` — the same SHA-256 derivation chain as
+  :meth:`StreamRegistry.spawn`, so seeds do not depend on worker count,
+  scheduling order, or platform.
+* ``workers <= 1`` runs the tasks inline in the calling process — the
+  reference execution the pool is checked against.
+
+Wedged workers
+--------------
+
+A run that hangs (e.g. a bug making the event loop spin forever) would
+stall the whole sweep.  ``timeout_s`` bounds the wait for each task's
+result; a timed-out task is resubmitted up to ``retries`` times (the old
+worker keeps spinning but the pool has spare processes) before
+:class:`TaskTimeoutError` aborts the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import typing
+
+from repro.sim.rng import StreamRegistry
+
+__all__ = ["Task", "TaskTimeoutError", "resolve_workers", "run_tasks",
+           "task_seed"]
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """One unit of work: ``fn(*args, **kwargs)`` in some process.
+
+    ``fn`` must be a module-level callable and ``args``/``kwargs`` must be
+    picklable.  ``key`` names the task in timeouts/diagnostics and is the
+    conventional input to :func:`task_seed`.
+    """
+
+    fn: typing.Callable[..., typing.Any]
+    args: tuple = ()
+    kwargs: dict[str, typing.Any] = dataclasses.field(default_factory=dict)
+    key: str = ""
+
+    def run(self) -> typing.Any:
+        return self.fn(*self.args, **self.kwargs)
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task exhausted its retries without producing a result."""
+
+    def __init__(self, task: Task, timeout_s: float, attempts: int) -> None:
+        super().__init__(
+            f"task {task.key or task.fn.__name__!r} produced no result "
+            f"within {timeout_s:g}s after {attempts} attempt(s)")
+        self.task = task
+
+
+def resolve_workers(explicit: int | None = None) -> int:
+    """Worker count: explicit argument > ``$REPRO_WORKERS`` > 1."""
+    if explicit is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        explicit = int(raw) if raw else 1
+    workers = int(explicit)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def task_seed(master_seed: int, key: str) -> int:
+    """A per-task master seed derived from ``(master_seed, key)``.
+
+    Identical to ``StreamRegistry(master_seed).spawn(key).master_seed``:
+    stable across platforms and independent of how many tasks run, in
+    what order, or on how many workers.
+    """
+    return StreamRegistry(master_seed).spawn(key).master_seed
+
+
+def _start_method() -> str:
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def run_tasks(tasks: typing.Iterable[Task],
+              workers: int | None = None, *,
+              timeout_s: float | None = None,
+              retries: int = 1) -> list[typing.Any]:
+    """Execute ``tasks`` and return their results in submission order.
+
+    ``workers`` is resolved via :func:`resolve_workers`; with one worker
+    (the default) the tasks run inline, sequentially, in this process.
+    With more, they are fanned out over a ``multiprocessing`` pool; the
+    result list is identical either way because every task is
+    self-contained (see the module docstring's determinism contract).
+
+    ``timeout_s`` bounds the wait for each task's result *from the point
+    its turn comes up in collection* (queueing behind unfinished earlier
+    tasks does not eat a task's own budget, because collection is in
+    submission order).  On timeout the task is resubmitted up to
+    ``retries`` times, then :class:`TaskTimeoutError` is raised and the
+    pool is terminated.  Exceptions raised by a task propagate as-is, as
+    they would sequentially, and are never retried.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(tasks) <= 1:
+        return [task.run() for task in tasks]
+
+    ctx = multiprocessing.get_context(_start_method())
+    results: list[typing.Any] = [None] * len(tasks)
+    with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+        handles = [pool.apply_async(task.fn, task.args, task.kwargs)
+                   for task in tasks]
+        for index, task in enumerate(tasks):
+            handle = handles[index]
+            attempts = 1
+            while True:
+                try:
+                    results[index] = handle.get(timeout_s)
+                    break
+                except multiprocessing.TimeoutError:
+                    if attempts > retries:
+                        pool.terminate()
+                        raise TaskTimeoutError(task, timeout_s or 0.0,
+                                               attempts) from None
+                    attempts += 1
+                    handle = pool.apply_async(task.fn, task.args,
+                                              task.kwargs)
+    return results

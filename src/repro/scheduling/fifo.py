@@ -37,12 +37,7 @@ class FIFOScheduler(Scheduler):
     # Non-preemptive: `preempts` stays False, `quantum` stays infinite.
 
     def pending_queries(self) -> int:
-        return self._count(Query)
+        return self._queue.live_queries
 
     def pending_updates(self) -> int:
-        return self._count(Update)
-
-    def _count(self, cls: type) -> int:
-        return sum(1 for __, __, txn in self._queue._heap
-                   if isinstance(txn, cls) and txn.alive
-                   and txn.txn_id in self._queue._members)
+        return self._queue.live_updates

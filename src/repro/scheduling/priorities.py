@@ -49,9 +49,12 @@ class VRDPriority(PriorityPolicy):
         if isinstance(txn, Query):
             rtmax = txn.qc.rt_max
             if rtmax <= 0 or rtmax == float("inf"):
-                # No meaningful deadline: rank by value alone, behind
-                # deadline-carrying queries of equal value.
-                return -txn.qc.total_max
+                # No meaningful deadline.  Deadline-carrying queries all
+                # have keys <= 0 (``-Vmax/rtmax``), so map into (0, 1]:
+                # behind *every* deadline-carrying query, and ordered by
+                # value alone among the deadline-free (higher value =
+                # smaller key = first).
+                return 1.0 / (1.0 + txn.qc.total_max)
             return -(txn.qc.total_max / rtmax)
         return txn.arrival_time
 

@@ -1,21 +1,41 @@
-"""Transaction queues with lazy invalidation.
+"""Transaction queues with lazy invalidation and exact O(1) live counts.
 
 Scheduling queues must tolerate transactions dying *while queued*: an update
 is superseded by a newer arrival (register-table invalidation), a query hits
 its lifetime deadline.  :class:`TransactionQueue` is a binary heap with lazy
 deletion — dead entries are skipped at pop time — plus membership tracking
 so a transaction is never queued twice.
+
+Liveness accounting is unified around one invariant: **membership implies
+liveness**.  Each queued transaction carries a back reference to its queue,
+and the transaction's status setter reports the moment it leaves the live
+set (see :class:`repro.db.transactions.Transaction`), so ``discard``,
+``pop``, and in-queue death all retire membership at the same place.  That
+makes ``len(queue)`` — and the per-class ``live_queries`` /
+``live_updates`` counts the schedulers' ``pending_*`` introspection and the
+invariant monitor hit on every sample — an exact O(1) read instead of the
+former O(n) heap scan.
+
+Heap entries stranded by discard/death are skipped lazily at pop time; when
+they outnumber the live entries the heap is compacted in one O(n) pass, so
+heap size stays within a constant factor of the live population.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import typing
+from heapq import heapify, heappop, heappush
 
 from repro.db.transactions import Transaction
 
 from .priorities import PriorityPolicy
+
+#: Compaction triggers only for heaps at least this large (small heaps are
+#: cheap to scan and compacting them would thrash).
+COMPACT_MIN_ENTRIES = 64
+#: ... and only when dead entries outnumber live ones by this factor.
+COMPACT_DEAD_FACTOR = 2
 
 
 class TransactionQueue:
@@ -27,22 +47,20 @@ class TransactionQueue:
         self._heap: list[tuple[float, int, Transaction]] = []
         self._members: set[int] = set()
         self._ties = itertools.count()
+        #: Exact number of live queued queries / updates (O(1) reads).
+        self.live_queries = 0
+        self.live_updates = 0
 
     def __len__(self) -> int:
-        """Number of *live* queued transactions (O(n): skips dead entries).
-
-        Use :meth:`approximate_len` on hot paths; exact length is for tests
-        and reports.
-        """
-        return sum(1 for __, __, txn in self._heap
-                   if txn.alive and txn.txn_id in self._members)
+        """Number of live queued transactions (exact, O(1))."""
+        return self.live_queries + self.live_updates
 
     def __repr__(self) -> str:
         return (f"<TransactionQueue {self.name!r} policy={self.policy.name} "
-                f"entries={len(self._heap)}>")
+                f"live={len(self)} entries={len(self._heap)}>")
 
     def approximate_len(self) -> int:
-        """Heap size including dead entries (O(1))."""
+        """Heap size including dead/stale entries (O(1))."""
         return len(self._heap)
 
     def push(self, txn: Transaction) -> None:
@@ -50,34 +68,80 @@ class TransactionQueue:
         if not txn.alive or txn.txn_id in self._members:
             return
         key = self.policy.key(txn)
-        heapq.heappush(self._heap, (key, next(self._ties), txn))
+        heappush(self._heap, (key, next(self._ties), txn))
         self._members.add(txn.txn_id)
+        txn._queue = self
+        if txn.is_query:
+            self.live_queries += 1
+        else:
+            self.live_updates += 1
 
     def pop(self) -> Transaction | None:
         """Dequeue the highest-priority live transaction (None if empty)."""
-        while self._heap:
-            __, __, txn = heapq.heappop(self._heap)
-            if txn.txn_id not in self._members:
+        heap = self._heap
+        members = self._members
+        while heap:
+            __, __, txn = heappop(heap)
+            if txn.txn_id not in members:
                 continue
-            self._members.discard(txn.txn_id)
+            self._retire(txn)
             if txn.alive:
                 return txn
         return None
 
     def peek(self) -> Transaction | None:
         """The transaction :meth:`pop` would return, without removing it."""
-        while self._heap:
-            __, __, txn = self._heap[0]
-            if txn.txn_id in self._members and txn.alive:
+        heap = self._heap
+        members = self._members
+        while heap:
+            __, __, txn = heap[0]
+            if txn.txn_id in members and txn.alive:
                 return txn
-            heapq.heappop(self._heap)
-            self._members.discard(txn.txn_id)
+            heappop(heap)
+            if txn.txn_id in members:
+                self._retire(txn)
         return None
 
     def discard(self, txn: Transaction) -> None:
-        """Remove ``txn`` from the queue if present (lazy: entry is skipped
-        later)."""
+        """Remove ``txn`` from the queue if present (lazy: the heap entry
+        is skipped later, or swept by compaction)."""
+        if txn.txn_id in self._members:
+            self._retire(txn)
+            self._maybe_compact()
+
+    def _note_death(self, txn: Transaction) -> None:
+        """Status-setter hook: a queued transaction just left the live
+        set.  Retire its membership immediately so live counts stay exact
+        (its heap entry is reclaimed lazily)."""
+        if txn.txn_id in self._members:
+            self._retire(txn)
+            self._maybe_compact()
+
+    def _retire(self, txn: Transaction) -> None:
+        """Drop ``txn`` from membership and the live counters."""
         self._members.discard(txn.txn_id)
+        if txn._queue is self:
+            txn._queue = None
+        if txn.is_query:
+            self.live_queries -= 1
+        else:
+            self.live_updates -= 1
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once dead entries dominate (amortised O(1)).
+
+        Entries keep their (key, tie) pairs, so compaction never perturbs
+        the pop order — it only sheds the lazy-deletion backlog that
+        ``discard`` and in-queue deaths leave behind.
+        """
+        n = len(self._heap)
+        live = len(self._members)
+        if (n >= COMPACT_MIN_ENTRIES
+                and n - live > COMPACT_DEAD_FACTOR * live):
+            members = self._members
+            self._heap = [entry for entry in self._heap
+                          if entry[2].txn_id in members]
+            heapify(self._heap)
 
     def is_empty(self) -> bool:
         return self.peek() is None

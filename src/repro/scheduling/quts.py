@@ -197,9 +197,25 @@ class QUTSScheduler(Scheduler):
         self._state_until = now + self.tau
 
     def quantum(self, running: Transaction, now: float) -> float:
-        """Run at most to the end of the current atom-time slot."""
+        """Run at most to the end of the current atom-time slot.
+
+        The slot can expire while ``running`` is being switched in (the
+        server charges class-switch overhead between ``next_transaction``
+        and the first slice).  Granting a fresh ``tau`` without re-drawing
+        the slot owner would let the running class overrun its time share,
+        so an expired slot re-draws the owner first: if the new slot still
+        belongs to ``running``'s class it gets the full slot, otherwise it
+        gets a zero quantum and yields the CPU back to the scheduler (the
+        cooperative equivalent of the τ-boundary switch).
+        """
         remaining_slot = self._state_until - now
-        return remaining_slot if remaining_slot > 0 else self.tau
+        if remaining_slot <= 0:
+            self._draw_state(now)
+            owner = "query" if running.is_query else "update"
+            if self._state != owner:
+                return 0.0
+            remaining_slot = self._state_until - now
+        return remaining_slot
 
     def preempts(self, running: Transaction, arrival: Transaction) -> bool:
         """QUTS never preempts mid-slot; switches happen at τ boundaries

@@ -7,8 +7,8 @@ throughout (the paper's workload is specified in milliseconds).
 
 from __future__ import annotations
 
-import heapq
 import typing
+from heapq import heappop, heappush
 from itertools import count
 
 from .errors import EventLifecycleError, SchedulingError, StopSimulation
@@ -86,8 +86,8 @@ class Environment:
         if delay < 0:
             raise SchedulingError(f"cannot schedule {event!r} in the past "
                                   f"(delay={delay})")
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, next(self._eid), event))
+        heappush(self._queue,
+                 (self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -96,7 +96,7 @@ class Environment:
     def step(self) -> None:
         """Process the next event, advancing the clock to its time."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = heappop(self._queue)
         except IndexError:
             raise EventLifecycleError("no more events") from None
 
@@ -137,9 +137,20 @@ class Environment:
                 return stop_event.value
             stop_event.callbacks.append(_stop_simulation)
 
+        # The event loop below is `step()` inlined: one method call, one
+        # try/except, and one attribute lookup per event add up over the
+        # millions of events a full-scale run processes.
+        queue = self._queue
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                self._now, _, _, event = heappop(queue)
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                for callback in callbacks:  # type: ignore[union-attr]
+                    callback(event)
+                if not event._ok and not event._defused:
+                    # An unhandled failure: abort the simulation loudly.
+                    raise typing.cast(BaseException, event._value)
         except StopSimulation as stop:
             return stop.value
 

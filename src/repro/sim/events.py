@@ -32,7 +32,13 @@ class Event:
 
     Events are the only synchronisation primitive in the kernel; timeouts,
     process termination, and condition events are all subclasses.
+
+    Events are created in the millions per run, so the whole hierarchy is
+    ``__slots__``-based: no per-instance dict, cheaper construction, and
+    faster attribute access on the event-loop hot path.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -108,14 +114,20 @@ class Timeout(Event):
     """An event that triggers ``delay`` time units after creation.
 
     Timeouts are triggered immediately at construction; the delay is encoded
-    in their position on the event queue.
+    in their position on the event queue.  The constructor assigns the event
+    fields directly (rather than via ``Event.__init__``) because timeouts
+    dominate event creation on the simulator's hot path.
     """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float,
                  value: object = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -124,6 +136,8 @@ class Timeout(Event):
 
 class ConditionValue:
     """Mapping-like view of the values of the events a condition waited on."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: list[Event] = []
@@ -163,6 +177,8 @@ class Condition(Event):
     ``|`` operators on events, which are intentionally *not* provided here to
     keep the API explicit).
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(self, env: "Environment",
                  evaluate: typing.Callable[[list[Event], int], bool],

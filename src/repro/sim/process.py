@@ -25,6 +25,8 @@ ProcessGenerator = typing.Generator[Event, typing.Any, typing.Any]
 class Initialize(Event):
     """Immediate event that starts a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
         self.callbacks = [process._resume]
@@ -35,6 +37,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Immediate event that throws :class:`Interrupt` into a process."""
+
+    __slots__ = ("process",)
 
     def __init__(self, process: "Process", cause: object) -> None:
         super().__init__(process.env)
@@ -77,6 +81,8 @@ class Process(Event):
     The process triggers when the generator returns (success, with the return
     value) or raises (failure, with the exception).
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator,
                  name: str | None = None) -> None:

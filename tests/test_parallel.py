@@ -1,0 +1,108 @@
+"""Unit tests for the deterministic parallel task runner."""
+
+import pathlib
+import time
+
+import pytest
+
+from repro.parallel import (Task, TaskTimeoutError, WORKERS_ENV,
+                            resolve_workers, run_tasks, task_seed)
+from repro.sim.rng import StreamRegistry
+
+
+# ----------------------------------------------------------------------
+# Worker functions (module-level so they pickle)
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+def _boom(message):
+    raise ValueError(message)
+
+
+def _wedge_once(marker_path, sleep_s):
+    """Hang on the first execution; return fast once the marker exists."""
+    marker = pathlib.Path(marker_path)
+    if marker.exists():
+        return "recovered"
+    marker.write_text("wedged")
+    time.sleep(sleep_s)
+    return "slow"
+
+
+def _always_wedge(sleep_s):
+    time.sleep(sleep_s)
+    return "slow"
+
+
+class TestResolveWorkers:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert resolve_workers() == 1
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers() == 4
+
+    def test_explicit_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert resolve_workers(2) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(bad)
+
+
+class TestTaskSeed:
+    def test_matches_registry_spawn_chain(self):
+        assert (task_seed(7, "policy/seed=3")
+                == StreamRegistry(7).spawn("policy/seed=3").master_seed)
+
+    def test_distinct_keys_distinct_seeds(self):
+        seeds = {task_seed(7, f"task-{k}") for k in range(128)}
+        assert len(seeds) == 128
+
+    def test_independent_of_call_order(self):
+        forward = [task_seed(1, f"k{i}") for i in range(8)]
+        backward = [task_seed(1, f"k{i}") for i in reversed(range(8))]
+        assert forward == list(reversed(backward))
+
+
+class TestRunTasks:
+    def test_sequential_and_parallel_agree_in_order(self):
+        tasks = [Task(_square, (k,), key=f"sq{k}") for k in range(20)]
+        expected = [k * k for k in range(20)]
+        assert run_tasks(tasks, 1) == expected
+        assert run_tasks(tasks, 4) == expected
+
+    def test_kwargs_are_forwarded(self):
+        assert run_tasks([Task(_square, kwargs={"x": 3})], 1) == [9]
+        assert run_tasks([Task(_square, kwargs={"x": 3}),
+                          Task(_square, kwargs={"x": 4})], 2) == [9, 16]
+
+    def test_empty_task_list(self):
+        assert run_tasks([], 4) == []
+
+    def test_exception_propagates_sequential(self):
+        with pytest.raises(ValueError, match="pop"):
+            run_tasks([Task(_boom, ("pop",))], 1)
+
+    def test_exception_propagates_parallel(self):
+        tasks = [Task(_square, (1,)), Task(_boom, ("pop",))]
+        with pytest.raises(ValueError, match="pop"):
+            run_tasks(tasks, 2)
+
+    def test_timeout_retry_recovers_wedged_task(self, tmp_path):
+        marker = tmp_path / "wedged.marker"
+        tasks = [Task(_square, (2,), key="fast"),
+                 Task(_wedge_once, (str(marker), 30.0), key="wedge")]
+        assert run_tasks(tasks, 2, timeout_s=3.0, retries=2) \
+            == [4, "recovered"]
+
+    def test_timeout_exhausted_raises(self):
+        tasks = [Task(_square, (2,), key="fast"),
+                 Task(_always_wedge, (30.0,), key="wedge")]
+        with pytest.raises(TaskTimeoutError, match="wedge"):
+            run_tasks(tasks, 2, timeout_s=0.5, retries=1)

@@ -39,9 +39,28 @@ class TestVRD:
 
     def test_uses_total_value(self):
         policy = VRDPriority()
-        qod_rich = query(qosmax=0.0, qodmax=50.0, rtmax=50.0)
+        qod_rich = query(qosmax=1.0, qodmax=50.0, rtmax=50.0)
         qos_poor = query(qosmax=10.0, qodmax=0.0, rtmax=50.0)
         assert policy.key(qod_rich) < policy.key(qos_poor)
+
+    def test_no_deadline_ranks_behind_all_deadline_carrying(self):
+        """Regression: a no-deadline query (rtmax = inf because qosmax = 0)
+        used to be keyed ``-total_max``, which compares in different units
+        against the ``-(total_max/rtmax)`` ratio keys and jumped *ahead*
+        of an equal-value query whose rtmax > 1."""
+        policy = VRDPriority()
+        no_deadline = query(qosmax=0.0, qodmax=50.0, rtmax=50.0)
+        equal_value = query(qosmax=25.0, qodmax=25.0, rtmax=50.0)
+        cheap_deadline = query(qosmax=0.01, qodmax=0.0, rtmax=10_000.0)
+        assert policy.key(equal_value) < policy.key(no_deadline)
+        # ... behind even a nearly worthless deadline-carrying query.
+        assert policy.key(cheap_deadline) < policy.key(no_deadline)
+
+    def test_no_deadline_queries_order_by_value(self):
+        policy = VRDPriority()
+        rich = query(qosmax=0.0, qodmax=50.0)
+        poor = query(qosmax=0.0, qodmax=5.0)
+        assert policy.key(rich) < policy.key(poor)
 
     def test_updates_fall_back_to_fcfs(self):
         policy = VRDPriority()

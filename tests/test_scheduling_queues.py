@@ -1,9 +1,13 @@
 """Unit tests for the lazy-invalidation transaction queue."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.db.transactions import Query, TxnStatus, Update
 from repro.qc.contracts import QualityContract
 from repro.scheduling.priorities import FCFSPriority, VRDPriority
-from repro.scheduling.queues import TransactionQueue
+from repro.scheduling.queues import (COMPACT_MIN_ENTRIES,
+                                     TransactionQueue)
 
 
 def update(at=0.0, item="A"):
@@ -116,6 +120,83 @@ class TestMembership:
         dead.status = TxnStatus.COMMITTED
         assert q.approximate_len() == 1
         assert len(q) == 0
+
+
+class TestLiveCounts:
+    """The O(1) counters must agree with an exhaustive scan, always.
+
+    Regression: ``__len__`` used to scan the heap counting entries that
+    were members *and* alive, while deaths-in-queue (superseded updates)
+    left membership intact — so ``len(q)`` drifted from the membership
+    set until the dead entry happened to be popped."""
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["push", "pop", "discard", "kill"]),
+        st.integers(min_value=0, max_value=11)), max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_len_matches_exact_scan(self, ops):
+        q = TransactionQueue(FCFSPriority())
+        pool = [update(at=float(k)) if k % 2 else query(at=float(k))
+                for k in range(12)]
+        for op, idx in ops:
+            txn = pool[idx]
+            if op == "push":
+                q.push(txn)
+            elif op == "pop":
+                q.pop()
+            elif op == "discard":
+                q.discard(txn)
+            elif txn.alive:  # kill: death while (possibly) queued
+                txn.status = TxnStatus.DROPPED_SUPERSEDED
+            live = [t for t in pool if t.txn_id in q._members]
+            # Membership implies liveness: deaths retire eagerly.
+            assert all(t.alive for t in live)
+            assert len(q) == len(live)
+            assert q.live_queries == sum(t.is_query for t in live)
+            assert q.live_updates == sum(t.is_update for t in live)
+
+    def test_death_in_queue_updates_len_immediately(self):
+        q = TransactionQueue(FCFSPriority())
+        txns = [update(at=float(k)) for k in range(5)]
+        for txn in txns:
+            q.push(txn)
+        txns[2].status = TxnStatus.DROPPED_SUPERSEDED
+        assert len(q) == 4
+        assert q.live_updates == 4
+
+    def test_counts_split_by_class(self):
+        q = TransactionQueue(FCFSPriority())
+        q.push(query(at=0.0))
+        q.push(update(at=1.0))
+        q.push(update(at=2.0))
+        assert (q.live_queries, q.live_updates) == (1, 2)
+        assert q.pop().is_query
+        assert (q.live_queries, q.live_updates) == (0, 2)
+
+
+class TestCompaction:
+    def test_dead_backlog_is_swept(self):
+        q = TransactionQueue(FCFSPriority())
+        txns = [update(at=float(k)) for k in range(3 * COMPACT_MIN_ENTRIES)]
+        for txn in txns:
+            q.push(txn)
+        for txn in txns[:-4]:  # kill all but the last four
+            txn.status = TxnStatus.DROPPED_SUPERSEDED
+        assert len(q) == 4
+        # The heap was compacted: the dead backlog cannot exceed the
+        # small-heap threshold once the live population collapses.
+        assert q.approximate_len() < COMPACT_MIN_ENTRIES
+
+    def test_compaction_preserves_pop_order(self):
+        q = TransactionQueue(FCFSPriority())
+        txns = [update(at=float(k)) for k in range(2 * COMPACT_MIN_ENTRIES)]
+        for txn in txns:
+            q.push(txn)
+        survivors = txns[::7]
+        for txn in txns:
+            if txn not in survivors:
+                txn.status = TxnStatus.DROPPED_SUPERSEDED
+        assert list(q.drain()) == survivors
 
 
 class TestDrain:

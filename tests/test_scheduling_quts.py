@@ -177,13 +177,41 @@ class TestSlotMachine:
         scheduler.next_transaction(0.0)  # draws a slot [0, 10)
         assert scheduler.quantum(q, 4.0) == pytest.approx(6.0)
 
-    def test_quantum_never_nonpositive(self):
+    def test_expired_slot_redraws_before_granting(self):
+        """Regression: an expired slot used to grant a full fresh ``tau``
+        without re-drawing the owner, letting one class overrun its time
+        share.  Now the owner is re-drawn at the boundary."""
         env, scheduler = bound_scheduler(fixed_rho=1.0, tau=10.0)
         q = query()
         scheduler.submit_query(q)
         scheduler.next_transaction(0.0)
+        # Slot expired exactly at the boundary: redraw (rho=1 -> query
+        # again), fresh slot [10, 20).
         assert scheduler.quantum(q, 10.0) == pytest.approx(10.0)
-        assert scheduler.quantum(q, 12.0) == pytest.approx(10.0)
+        # Mid-slot of the re-drawn slot: only the remainder is granted.
+        assert scheduler.quantum(q, 12.0) == pytest.approx(8.0)
+
+    def test_expired_slot_lost_to_other_class_gives_zero_quantum(self):
+        """If the re-drawn slot belongs to the other class, the running
+        transaction gets a zero quantum (it must yield the CPU)."""
+        env, scheduler = bound_scheduler(fixed_rho=0.0, tau=10.0)
+        q = query()
+        scheduler.submit_query(q)
+        scheduler._switch_state("query", 0.0)  # force a query slot
+        assert scheduler.quantum(q, 15.0) == 0.0
+        assert scheduler.current_state == "update"
+        # The scheduler's next decision then serves the slot owner.
+        u = update()
+        scheduler.submit_update(u)
+        assert scheduler.next_transaction(16.0) is u
+
+    def test_quantum_positive_within_slot(self):
+        env, scheduler = bound_scheduler(fixed_rho=1.0, tau=10.0)
+        q = query()
+        scheduler.submit_query(q)
+        scheduler.next_transaction(0.0)
+        for now in (0.0, 4.0, 9.999):
+            assert scheduler.quantum(q, now) > 0.0
 
     def test_never_preempts_mid_slot(self):
         env, scheduler = bound_scheduler()
@@ -204,6 +232,46 @@ class TestSlotMachine:
             now += 10.0
         # With rho=0.5 and both queues full, both states must occur.
         assert states == {"query", "update"}
+
+    def test_slot_time_share_tracks_rho_under_saturation(self):
+        """With both classes saturated, the fraction of CPU time spent in
+        query slots must stay within ~ρ ± tolerance (the quantum fix:
+        expired slots redraw instead of granting a free full τ)."""
+        env, scheduler = bound_scheduler(fixed_rho=0.7, tau=10.0)
+        scheduler.submit_query(query())
+        scheduler.submit_update(update())
+        now = query_ms = total_ms = 0.0
+        for __ in range(4000):
+            txn = scheduler.next_transaction(now)
+            grant = scheduler.quantum(txn, now)
+            scheduler.requeue(txn)  # keep both queues saturated
+            if grant <= 0:
+                continue  # lost the re-drawn slot; decide again
+            if txn.is_query:
+                query_ms += grant
+            total_ms += grant
+            now += grant
+        assert query_ms / total_ms == pytest.approx(0.7, abs=0.05)
+
+    def test_quantum_redraw_preserves_time_share(self):
+        """A transaction that keeps arriving at expired slot boundaries
+        wins the redraw with probability ρ — it cannot monopolise the CPU
+        the way the old grant-a-fresh-τ behaviour allowed."""
+        env, scheduler = bound_scheduler(fixed_rho=0.6, tau=10.0)
+        q = query()
+        scheduler.submit_query(q)
+        scheduler.next_transaction(0.0)
+        now = scheduler._state_until  # always arrive exactly at a boundary
+        wins = 0
+        trials = 3000
+        for __ in range(trials):
+            grant = scheduler.quantum(q, now)
+            if grant > 0:
+                wins += 1
+                now += grant  # ran to the end of its slot
+            else:
+                now = scheduler._state_until  # other class used the slot
+        assert wins / trials == pytest.approx(0.6, abs=0.05)
 
     def test_xi_draw_respects_rho_statistically(self):
         env, scheduler = bound_scheduler(fixed_rho=0.8, tau=10.0)
