@@ -18,8 +18,8 @@ Run with::
     python examples/custom_contracts.py
 """
 
-from repro import (CompositionMode, PiecewiseLinearProfit, QUTSScheduler,
-                   QualityContract, StepProfit, paper_trace, run_simulation)
+from repro import (CompositionMode, PiecewiseLinearProfit, QualityContract,
+                   QUTSScheduler, StepProfit, paper_trace, run_simulation)
 from repro.qc.generator import QCFactory
 from repro.scheduling import EDFPriority
 from repro.sim.rng import RandomStream

@@ -1,0 +1,45 @@
+"""Static analysis for the simulator: the ``simlint`` determinism linter.
+
+Every number this repository reports rests on guarantees that are
+invisible at runtime until they are violated: seeded determinism via
+:class:`~repro.sim.rng.StreamRegistry`, bit-identical parallel-vs-
+sequential sweeps (``repro.parallel``), and profit-ledger conservation.
+A single ``time.time()`` call, a global ``random.random()`` draw, or a
+closure handed to :func:`repro.parallel.run_tasks` silently voids them.
+
+``repro.analysis`` enforces those rules *before* the code runs:
+
+* :mod:`repro.analysis.core` — the rule-visitor framework: file walker,
+  :class:`Rule` base class, :class:`Finding` records, inline
+  ``# repro: lint-ignore[rule-id]`` suppressions, ``[tool.repro.lint]``
+  allowlist configuration, text/JSON reporters and exit codes.
+* :mod:`repro.analysis.rules` — the ruleset encoding the repository's
+  determinism and hot-path invariants.
+
+Run it as ``repro lint <paths...>`` or programmatically::
+
+    from repro.analysis import lint_paths
+    findings = lint_paths(["src/repro"])
+"""
+
+from __future__ import annotations
+
+from .core import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, Finding,
+                   LintConfig, Rule, SourceModule, lint_paths, main,
+                   render_json, render_text)
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "EXIT_CLEAN",
+    "EXIT_ERROR",
+    "EXIT_FINDINGS",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "SourceModule",
+    "lint_paths",
+    "main",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,495 @@
+"""simlint core: file walker, rule visitors, suppressions, reporters.
+
+The framework is deliberately small and dependency-free:
+
+* :class:`SourceModule` — one parsed file: source text, AST, an import
+  table mapping local names to fully-qualified targets, and the parsed
+  inline suppressions.
+* :class:`Rule` — base class for checks.  A rule declares ``rule_id``
+  and ``summary``, optionally restricts itself to path globs
+  (``scope``) or exempts paths (``exempt``), and implements ordinary
+  ``ast.NodeVisitor``-style ``visit_<NodeType>`` methods.  All active
+  rules share a single AST walk per file.  Rules that need
+  cross-module state (e.g. "which classes declare ``__slots__``?")
+  implement :meth:`Rule.prepare`, which runs over the whole file set
+  before any file is visited.
+* :class:`Finding` — one diagnostic, with stable ``path:line:col``
+  location and rule id, renderable as text or JSON.
+
+Suppressions
+------------
+
+A finding is suppressed by a trailing (or immediately preceding)
+comment::
+
+    t0 = time.time()  # repro: lint-ignore[no-wall-clock] host benchmark
+
+``lint-ignore`` with no bracket suppresses every rule on that line.
+Project-wide exceptions live in ``pyproject.toml``::
+
+    [tool.repro.lint.allow]
+    no-wall-clock = ["benchmarks/test_parallel_speedup.py"]
+
+Exit codes: ``0`` clean, ``1`` findings, ``2`` usage/configuration
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import fnmatch
+import json
+import pathlib
+import re
+import sys
+import typing
+
+__all__ = ["EXIT_CLEAN", "EXIT_ERROR", "EXIT_FINDINGS", "Finding",
+           "ImportTable", "LintConfig", "Rule", "SourceModule",
+           "lint_paths", "main", "render_json", "render_text"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+#: Rule id attached to files that do not parse.
+SYNTAX_RULE_ID = "syntax-error"
+
+_IGNORE_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore(?:\[(?P<ids>[^\]]*)\])?")
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: where, which rule, and what is wrong."""
+
+    path: str       #: repo-relative posix path
+    line: int       #: 1-based line number
+    col: int        #: 1-based column number
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule_id} {self.message}")
+
+    def to_dict(self) -> dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Import resolution
+# ----------------------------------------------------------------------
+class ImportTable:
+    """Local name -> fully-qualified dotted target, per module.
+
+    ``import time as t`` binds ``t -> time``; ``from repro.parallel
+    import Task`` binds ``Task -> repro.parallel.Task``.  Relative
+    imports are resolved against nothing (their targets stay relative,
+    prefixed with dots stripped) because simlint's rules only match
+    absolute stdlib/third-party targets.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    self.bindings[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.bindings[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Fully-qualified dotted name for ``node``, if import-derived.
+
+        ``Attribute`` chains are unwound, so with ``import numpy as
+        np`` the expression ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng``.  Returns ``None`` for anything
+        not rooted in an imported name.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.bindings.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+# Parsed source files
+# ----------------------------------------------------------------------
+class SourceModule:
+    """One file under analysis: text, AST, imports, suppressions."""
+
+    def __init__(self, path: pathlib.Path, relpath: str,
+                 text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        self.imports = ImportTable(self.tree)
+        #: line number -> frozenset of suppressed rule ids, or None
+        #: meaning "suppress every rule on this line".
+        self.suppressions: dict[int, frozenset[str] | None] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _IGNORE_RE.search(line)
+            if match is None:
+                continue
+            ids = match.group("ids")
+            if ids is None:
+                self.suppressions[lineno] = None
+            else:
+                self.suppressions[lineno] = frozenset(
+                    part.strip() for part in ids.split(",")
+                    if part.strip())
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        """True if ``rule_id`` is suppressed on ``line``.
+
+        A marker suppresses findings on its own line and, when it is
+        the only content of its line, on the following line — so a
+        suppression can sit above a long statement.
+        """
+        for marker_line in (line, line - 1):
+            if marker_line not in self.suppressions:
+                continue
+            if marker_line == line - 1:
+                stripped = self.text.splitlines()[marker_line - 1].strip()
+                if not stripped.startswith("#"):
+                    continue
+            ids = self.suppressions[marker_line]
+            if ids is None or rule_id in ids:
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class Rule:
+    """Base class for simlint checks.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary`, optionally
+    narrow :attr:`scope` / :attr:`exempt` (fnmatch globs over the
+    repo-relative posix path; a bare directory prefix such as
+    ``src/repro/db`` matches everything beneath it), and implement
+    ``visit_<NodeType>`` methods.  Inside a visit method,
+    :meth:`report` records a finding against the current module.
+    """
+
+    rule_id: typing.ClassVar[str] = ""
+    summary: typing.ClassVar[str] = ""
+    #: restrict the rule to these path globs (empty = everywhere)
+    scope: typing.ClassVar[tuple[str, ...]] = ()
+    #: never run the rule on these paths (built-in exemptions)
+    exempt: typing.ClassVar[tuple[str, ...]] = ()
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+        self.module: SourceModule | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def prepare(self, modules: typing.Sequence[SourceModule]) -> None:
+        """Cross-module pre-pass; runs once before any file is visited."""
+
+    def begin_module(self, module: SourceModule) -> None:
+        self.module = module
+
+    def end_module(self) -> None:
+        self.module = None
+
+    def applies_to(self, module: SourceModule) -> bool:
+        if _matches_any(module.relpath, self.exempt):
+            return False
+        return not self.scope or _matches_any(module.relpath, self.scope)
+
+    # -- reporting ------------------------------------------------------
+    def report(self, node: ast.AST, message: str) -> None:
+        assert self.module is not None
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        if self.module.is_suppressed(line, self.rule_id):
+            return
+        self.findings.append(Finding(self.module.relpath, line, col,
+                                     self.rule_id, message))
+
+
+def _matches_any(relpath: str, patterns: typing.Iterable[str]) -> bool:
+    for pattern in patterns:
+        pattern = pattern.rstrip("/")
+        if (relpath == pattern
+                or relpath.startswith(pattern + "/")
+                or fnmatch.fnmatch(relpath, pattern)):
+            return True
+    return False
+
+
+class _Walker(ast.NodeVisitor):
+    """Single AST walk dispatching each node to every active rule."""
+
+    def __init__(self, rules: typing.Sequence[Rule]) -> None:
+        self._handlers: dict[str, list[typing.Callable[[ast.AST], None]]]
+        self._handlers = {}
+        for rule in rules:
+            for name in dir(rule):
+                if name.startswith("visit_"):
+                    node_type = name[len("visit_"):]
+                    self._handlers.setdefault(node_type, []).append(
+                        getattr(rule, name))
+
+    def visit(self, node: ast.AST) -> None:
+        for handler in self._handlers.get(type(node).__name__, ()):
+            handler(node)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Project lint settings, from ``[tool.repro.lint]``.
+
+    ``exclude`` drops files from the walk entirely; ``allow`` maps a
+    rule id to path globs on which that rule's findings are waived
+    (the project-level allowlist); ``select`` restricts the run to a
+    subset of rule ids (empty = all rules).
+    """
+
+    exclude: tuple[str, ...] = ()
+    allow: dict[str, tuple[str, ...]] = \
+        dataclasses.field(default_factory=dict)
+    select: tuple[str, ...] = ()
+
+    @classmethod
+    def load(cls, root: pathlib.Path) -> "LintConfig":
+        """Read ``[tool.repro.lint]`` from ``root / pyproject.toml``."""
+        pyproject = root / "pyproject.toml"
+        if not pyproject.is_file():
+            return cls()
+        import tomllib
+        try:
+            data = tomllib.loads(pyproject.read_text())
+        except tomllib.TOMLDecodeError as exc:
+            raise LintUsageError(f"cannot parse {pyproject}: {exc}") \
+                from exc
+        section = data.get("tool", {}).get("repro", {}).get("lint", {})
+        allow = {rule_id: tuple(paths) for rule_id, paths
+                 in section.get("allow", {}).items()}
+        return cls(exclude=tuple(section.get("exclude", ())),
+                   allow=allow,
+                   select=tuple(section.get("select", ())))
+
+    def allows(self, finding: Finding) -> bool:
+        return _matches_any(finding.path,
+                            self.allow.get(finding.rule_id, ()))
+
+
+class LintUsageError(Exception):
+    """Bad invocation or configuration; maps to exit code 2."""
+
+
+# ----------------------------------------------------------------------
+# The walk
+# ----------------------------------------------------------------------
+_SKIP_DIRS = {"__pycache__", ".git", ".mypy_cache", ".pytest_cache",
+              ".ruff_cache", ".hypothesis"}
+
+
+def _collect_files(paths: typing.Sequence[str | pathlib.Path],
+                   root: pathlib.Path,
+                   config: LintConfig) -> list[pathlib.Path]:
+    files: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts)))
+        elif path.is_file():
+            candidates = [path]
+        else:
+            raise LintUsageError(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            if _matches_any(_relpath(candidate, root), config.exclude):
+                continue
+            files.append(candidate)
+    return files
+
+
+def _relpath(path: pathlib.Path, root: pathlib.Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def find_project_root(
+        start: pathlib.Path | None = None) -> pathlib.Path:
+    """Nearest ancestor of ``start`` containing a ``pyproject.toml``."""
+    probe = (start or pathlib.Path.cwd()).resolve()
+    if probe.is_file():
+        probe = probe.parent
+    for candidate in (probe, *probe.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return probe
+
+
+def _make_rules(config: LintConfig) -> list[Rule]:
+    from .rules import ALL_RULES
+    by_id = {rule_cls.rule_id: rule_cls for rule_cls in ALL_RULES}
+    wanted = config.select or tuple(by_id)
+    unknown = set(wanted) - set(by_id)
+    if unknown:
+        raise LintUsageError(
+            f"unknown rule id(s) {sorted(unknown)}; available: "
+            f"{sorted(by_id)}")
+    return [by_id[rule_id]() for rule_id in wanted]
+
+
+def lint_paths(paths: typing.Sequence[str | pathlib.Path],
+               config: LintConfig | None = None,
+               root: pathlib.Path | None = None) -> list[Finding]:
+    """Lint ``paths`` (files or directories) and return the findings.
+
+    ``root`` anchors repo-relative paths and, when ``config`` is not
+    given, locates the ``pyproject.toml`` whose ``[tool.repro.lint]``
+    section configures the run.
+    """
+    if not paths:
+        raise LintUsageError("no paths given")
+    if root is None:
+        root = find_project_root(pathlib.Path(paths[0]))
+    if config is None:
+        config = LintConfig.load(root)
+    rules = _make_rules(config)
+
+    modules: list[SourceModule] = []
+    findings: list[Finding] = []
+    for path in _collect_files(paths, root, config):
+        relpath = _relpath(path, root)
+        try:
+            modules.append(SourceModule(path, relpath,
+                                        path.read_text()))
+        except SyntaxError as exc:
+            findings.append(Finding(relpath, exc.lineno or 1,
+                                    (exc.offset or 0) + 1,
+                                    SYNTAX_RULE_ID,
+                                    f"file does not parse: {exc.msg}"))
+
+    for rule in rules:
+        rule.prepare(modules)
+    for module in modules:
+        active = [rule for rule in rules if rule.applies_to(module)]
+        if not active:
+            continue
+        for rule in active:
+            rule.begin_module(module)
+        _Walker(active).visit(module.tree)
+        for rule in active:
+            rule.end_module()
+
+    for rule in rules:
+        findings.extend(f for f in rule.findings if not config.allows(f))
+    return sorted(findings)
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+def render_text(findings: typing.Sequence[Finding],
+                files_checked: int | None = None) -> str:
+    lines = [finding.format() for finding in findings]
+    tail = f"{len(findings)} finding(s)"
+    if files_checked is not None:
+        tail += f" in {files_checked} file(s)"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def render_json(findings: typing.Sequence[Finding]) -> str:
+    return json.dumps({
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+    }, indent=2, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# CLI (wired up as ``repro lint``)
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simlint: determinism-safety static analysis for "
+                    "the simulator (see repro.analysis.rules)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    parser.add_argument("--format", default="text",
+                        choices=("text", "json"),
+                        help="report format (default: text)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run "
+                             "(default: all rules)")
+    parser.add_argument("--root", default=None,
+                        help="project root for relative paths and "
+                             "pyproject.toml config (default: nearest "
+                             "ancestor with a pyproject.toml)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the available rules and exit")
+    return parser
+
+
+def main(argv: typing.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        from .rules import ALL_RULES
+        for rule_cls in sorted(ALL_RULES, key=lambda r: r.rule_id):
+            print(f"{rule_cls.rule_id}: {rule_cls.summary}")
+        return EXIT_CLEAN
+
+    root = pathlib.Path(args.root) if args.root else \
+        find_project_root(pathlib.Path(args.paths[0]))
+    try:
+        config = LintConfig.load(root)
+        if args.select:
+            select = tuple(part.strip()
+                           for part in args.select.split(",")
+                           if part.strip())
+            config = dataclasses.replace(config, select=select)
+        files = _collect_files(args.paths, root, config)
+        findings = lint_paths(args.paths, config=config, root=root)
+    except LintUsageError as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings, files_checked=len(files)))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -1,0 +1,387 @@
+"""The simlint ruleset: the repository's determinism invariants as code.
+
+Each rule encodes one of the guarantees the experiments depend on.
+They are deliberately conservative: matching is driven by the module's
+import table (see :class:`repro.analysis.core.ImportTable`), so a local
+variable that happens to be called ``random`` never trips a rule, and
+an aliased ``import numpy.random as nr`` still does.
+
+================== ==================================================
+rule id            invariant
+================== ==================================================
+no-wall-clock      simulated time only — results must not depend on
+                   the host clock
+no-global-rng      all randomness flows through named, seeded
+                   StreamRegistry streams
+picklable-tasks    parallel sweeps fork tasks to worker processes;
+                   lambdas and closures do not survive pickling
+slots-hygiene      hot-path classes stay ``__slots__``-based, and do
+                   not share mutable class-level state
+no-float-eq-on-clock  the simulated clock is a float; exact equality
+                   against it is seed-dependent luck
+exception-hygiene  scheduler/db/WAL hot paths may not swallow errors
+                   that the invariant monitor needs to see
+================== ==================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from .core import Rule, SourceModule
+
+__all__ = ["ALL_RULES", "ClockEqualityRule", "ExceptionHygieneRule",
+           "GlobalRngRule", "PicklableTaskRule", "SlotsHygieneRule",
+           "WallClockRule"]
+
+#: Directories holding the simulator's hot paths: classes here are
+#: constructed millions of times per run and stay ``__slots__``-based.
+HOT_PATHS = ("src/repro/sim", "src/repro/scheduling", "src/repro/db")
+
+
+# ----------------------------------------------------------------------
+class WallClockRule(Rule):
+    """Ban host wall-clock reads: results depend on simulated time only.
+
+    Reading ``time.time()`` (or any sibling) makes output depend on
+    host speed and scheduling, which breaks bit-identical replay and
+    the parallel-equals-sequential sweep contract.  Simulation code
+    must use ``Environment.now``.
+    """
+
+    rule_id = "no-wall-clock"
+    summary = ("host clock read (time.time/perf_counter/datetime.now "
+               "...); use the simulated clock Environment.now")
+
+    BANNED: typing.ClassVar[frozenset[str]] = frozenset({
+        "time.time", "time.time_ns",
+        "time.monotonic", "time.monotonic_ns",
+        "time.perf_counter", "time.perf_counter_ns",
+        "time.process_time", "time.process_time_ns",
+        "time.clock_gettime", "time.clock_gettime_ns",
+        "time.localtime", "time.gmtime", "time.ctime", "time.asctime",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    })
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        assert self.module is not None
+        target = self.module.imports.resolve(node)
+        if target in self.BANNED:
+            self.report(node, f"reads the host clock via '{target}'")
+
+    def visit_Name(self, node: ast.Name) -> None:
+        # Catches uses of `from time import perf_counter` style imports
+        # (the import itself is flagged by visit_ImportFrom).
+        if not isinstance(node.ctx, ast.Load):
+            return
+        assert self.module is not None
+        target = self.module.imports.resolve(node)
+        if target in self.BANNED:
+            self.report(node, f"reads the host clock via '{target}'")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return
+        for alias in node.names:
+            if f"{node.module}.{alias.name}" in self.BANNED:
+                self.report(node,
+                            f"imports the host clock function "
+                            f"'{node.module}.{alias.name}'")
+
+
+# ----------------------------------------------------------------------
+class GlobalRngRule(Rule):
+    """Ban the global/stdlib RNGs outside ``repro/sim/rng.py``.
+
+    Global ``random.*`` state is shared across the whole process: any
+    draw outside a named stream perturbs every later draw, so two runs
+    of "the same" experiment diverge as soon as any unrelated code
+    consumes randomness.  All randomness must come from
+    ``StreamRegistry.stream(name)``.
+    """
+
+    rule_id = "no-global-rng"
+    summary = ("global random module / numpy.random used outside "
+               "repro/sim/rng.py; draw from a StreamRegistry stream")
+    exempt = ("src/repro/sim/rng.py",)
+
+    BANNED_MODULES: typing.ClassVar[frozenset[str]] = frozenset({
+        "random", "numpy.random",
+    })
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in self.BANNED_MODULES:
+                self.report(node,
+                            f"imports '{alias.name}'; use "
+                            f"repro.sim.rng.StreamRegistry streams")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return
+        if node.module in self.BANNED_MODULES:
+            self.report(node,
+                        f"imports from '{node.module}'; use "
+                        f"repro.sim.rng.StreamRegistry streams")
+        elif node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.report(node, "imports 'numpy.random'; use "
+                                      "StreamRegistry streams")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        assert self.module is not None
+        target = self.module.imports.resolve(node)
+        if target is None:
+            return
+        for banned in self.BANNED_MODULES:
+            if target.startswith(banned + "."):
+                self.report(node,
+                            f"uses global RNG '{target}'; draw from a "
+                            f"named StreamRegistry stream instead")
+                return
+
+
+# ----------------------------------------------------------------------
+class PicklableTaskRule(Rule):
+    """Lambdas/closures must not be handed to the parallel runner.
+
+    ``repro.parallel.run_tasks`` ships each :class:`~repro.parallel.
+    Task` to a worker process via pickling.  Lambdas and functions
+    defined inside another function cannot be pickled, so the sweep
+    dies at fan-out time — but only when ``--workers > 1``, which is
+    exactly when nobody is watching.  Task functions must be
+    module-level.
+    """
+
+    rule_id = "picklable-tasks"
+    summary = ("lambda or nested function handed to repro.parallel "
+               "(Task/run_tasks); task functions must be module-level "
+               "and picklable")
+
+    TARGETS: typing.ClassVar[frozenset[str]] = frozenset({
+        "repro.parallel.Task", "repro.parallel.run_tasks",
+    })
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._nested: set[str] = set()
+
+    def begin_module(self, module: SourceModule) -> None:
+        super().begin_module(module)
+        self._nested = _nested_function_names(module.tree)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        assert self.module is not None
+        target = self.module.imports.resolve(node.func)
+        if target not in self.TARGETS:
+            return
+        short = target.rsplit(".", 1)[1]
+        fn_args: list[ast.expr] = []
+        if node.args:
+            fn_args.append(node.args[0])
+        fn_args.extend(kw.value for kw in node.keywords
+                       if kw.arg in ("fn", "tasks"))
+        for arg in fn_args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Lambda):
+                    self.report(sub,
+                                f"lambda passed to {short}(); lambdas "
+                                f"cannot be pickled to worker "
+                                f"processes")
+                elif (isinstance(sub, ast.Name)
+                        and isinstance(sub.ctx, ast.Load)
+                        and sub.id in self._nested):
+                    self.report(sub,
+                                f"nested function '{sub.id}' passed to "
+                                f"{short}(); closures cannot be "
+                                f"pickled to worker processes")
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function."""
+    nested: set[str] = set()
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            is_func = isinstance(child, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef))
+            if is_func and inside_function:
+                nested.add(child.name)  # type: ignore[attr-defined]
+            walk(child, inside_function or is_func)
+
+    walk(tree, False)
+    return nested
+
+
+# ----------------------------------------------------------------------
+class SlotsHygieneRule(Rule):
+    """Hot-path subclasses must declare ``__slots__``; no shared state.
+
+    The event kernel allocates events, transactions and lock records
+    millions of times per run; PR 3's 1.44x event-rate win rests on
+    them being ``__slots__``-based.  A subclass without ``__slots__``
+    silently re-grows a per-instance ``__dict__`` and undoes that.
+    Class-level mutable defaults (``cache = {}``) are shared across
+    every instance — a determinism hazard when two simulations run in
+    one process.
+    """
+
+    rule_id = "slots-hygiene"
+    summary = ("hot-path subclass without __slots__, or class-level "
+               "mutable default shared across instances")
+    scope = HOT_PATHS
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._slotted: set[str] = set()
+
+    def prepare(self,
+                modules: typing.Sequence[SourceModule]) -> None:
+        for module in modules:
+            if not self.applies_to(module):
+                continue
+            for node in ast.walk(module.tree):
+                if (isinstance(node, ast.ClassDef)
+                        and _declares_slots(node)):
+                    self._slotted.add(node.name)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        slotted_bases = [base for base in node.bases
+                         if _base_name(base) in self._slotted]
+        if slotted_bases and not _declares_slots(node):
+            names = ", ".join(sorted(_base_name(b) or "?"
+                                     for b in slotted_bases))
+            self.report(node,
+                        f"class '{node.name}' subclasses __slots__ "
+                        f"class(es) {names} but declares no __slots__ "
+                        f"(re-introduces a per-instance __dict__ on a "
+                        f"hot path)")
+        for stmt in node.body:
+            target = _class_attr_target(stmt)
+            if target is None or target == "__slots__":
+                continue
+            value = stmt.value  # type: ignore[attr-defined]
+            if _is_mutable_literal(value):
+                self.report(stmt,
+                            f"class-level mutable default "
+                            f"'{node.name}.{target}' is shared by "
+                            f"every instance; initialise it in "
+                            f"__init__ instead")
+
+
+def _declares_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if _class_attr_target(stmt) == "__slots__":
+            return True
+    return False
+
+
+def _class_attr_target(stmt: ast.stmt) -> str | None:
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target = stmt.targets[0]
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        target = stmt.target
+    else:
+        return None
+    return target.id if isinstance(target, ast.Name) else None
+
+
+def _base_name(base: ast.expr) -> str | None:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def _is_mutable_literal(value: ast.expr | None) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("list", "dict", "set")
+            and not value.args and not value.keywords)
+
+
+# ----------------------------------------------------------------------
+class ClockEqualityRule(Rule):
+    """No ``==``/``!=`` against the simulated clock.
+
+    ``Environment.now`` is a float accumulated by event stepping;
+    whether two times compare exactly equal depends on summation
+    order, which is exactly what changes between runs and platforms.
+    Use ``<=``/``>=`` windows or an explicit tolerance.
+    """
+
+    rule_id = "no-float-eq-on-clock"
+    summary = ("== / != comparison against the simulated clock "
+               "(.now); use an ordering or a tolerance")
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if not any(isinstance(op, (ast.Eq, ast.NotEq))
+                   for op in node.ops):
+            return
+        for operand in (node.left, *node.comparators):
+            if _is_clock_expr(operand):
+                self.report(node,
+                            "exact equality against the simulated "
+                            "clock is float-summation luck; compare "
+                            "with an ordering or tolerance")
+                return
+
+
+def _is_clock_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute) and node.attr == "now":
+        return True
+    return isinstance(node, ast.Name) and node.id == "now"
+
+
+# ----------------------------------------------------------------------
+class ExceptionHygieneRule(Rule):
+    """No bare ``except:``; no swallow-and-``pass`` on hot paths.
+
+    The invariant monitor (``repro.sim.invariants``) and the WAL's
+    crash-consistency checks surface violations as exceptions.  A bare
+    ``except:`` (which also eats ``KeyboardInterrupt``) or a broad
+    handler whose body is just ``pass`` hides exactly the failures
+    those subsystems exist to report.
+    """
+
+    rule_id = "exception-hygiene"
+    summary = ("bare except, or broad except-and-pass in a "
+               "scheduler/db/sim hot path")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        assert self.module is not None
+        if node.type is None:
+            self.report(node,
+                        "bare 'except:' catches SystemExit and "
+                        "KeyboardInterrupt; name the exception(s)")
+            return
+        in_hot_path = any(
+            self.module.relpath == prefix
+            or self.module.relpath.startswith(prefix + "/")
+            for prefix in HOT_PATHS)
+        if not in_hot_path:
+            return
+        is_broad = (isinstance(node.type, ast.Name)
+                    and node.type.id in ("Exception", "BaseException"))
+        only_pass = (len(node.body) == 1
+                     and isinstance(node.body[0], ast.Pass))
+        if is_broad and only_pass:
+            self.report(node,
+                        "broad except-and-pass on a hot path swallows "
+                        "invariant violations; handle or re-raise")
+
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    WallClockRule,
+    GlobalRngRule,
+    PicklableTaskRule,
+    SlotsHygieneRule,
+    ClockEqualityRule,
+    ExceptionHygieneRule,
+)

@@ -7,6 +7,7 @@ Examples::
     repro fig9                 # adaptability + the rho trajectory
     repro table3               # workload information
     repro run --policy QUTS    # a single simulation with default QCs
+    repro lint src benchmarks  # simlint determinism static analysis
 """
 
 from __future__ import annotations
@@ -15,13 +16,16 @@ import argparse
 import sys
 import typing
 
-from repro.experiments import (ABLATIONS, ExperimentConfig, fault_sweep,
-                               fig1, fig5, fig6, fig7, fig8, fig9, fig10,
-                               format_series, format_table,
-                               recovery_sweep, run_simulation, save_csv,
-                               table3, table4)
+from repro.experiments import (ABLATIONS, ExperimentConfig, fault_sweep, fig1,
+                               fig10, fig5, fig6, fig7, fig8, fig9,
+                               format_series, format_table, recovery_sweep,
+                               run_simulation, save_csv, table3, table4)
 from repro.qc.generator import QCFactory
 from repro.scheduling import make_scheduler
+from repro.workload.traces import Trace
+
+#: What a figure exporter yields: (filename suffix, report rows).
+ExportIter = typing.Iterator[tuple[str, list[dict[str, typing.Any]]]]
 
 EXPERIMENTS = ("fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
                "table3", "table4", "run", "ablation", "export", "faults",
@@ -32,7 +36,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Preference-Aware Query and Update "
-                    "Scheduling in Web-databases' (ICDE 2007)")
+                    "Scheduling in Web-databases' (ICDE 2007)",
+        epilog="'repro lint [paths...]' runs the simlint determinism "
+               "static analyser (see 'repro lint --help')")
     parser.add_argument("experiment", choices=EXPERIMENTS,
                         help="which table/figure to regenerate")
     parser.add_argument("--scale", default=None,
@@ -58,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: typing.Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # The linter has its own argument grammar (paths, --format,
+        # --select); dispatch before the experiment parser sees it.
+        from repro.analysis import main as lint_main
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig.from_env(args.scale, workers=args.workers)
     handler = _HANDLERS[args.experiment]
@@ -74,13 +86,15 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
 
 
 # ----------------------------------------------------------------------
-def _cmd_fig1(config: ExperimentConfig, args) -> None:
+def _cmd_fig1(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     rows = fig1(config)
     print(format_table(rows, title="Figure 1 - response time vs staleness "
                                    "(naive policies, no QCs)"))
 
 
-def _cmd_fig5(config: ExperimentConfig, args) -> None:
+def _cmd_fig5(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     data = fig5(config)
     print(format_table([data["summary"]],
                        title="Figure 5 - trace characteristics"))
@@ -92,19 +106,22 @@ def _cmd_fig5(config: ExperimentConfig, args) -> None:
                         title="Figure 5b - updates per second"))
 
 
-def _cmd_fig6(config: ExperimentConfig, args) -> None:
+def _cmd_fig6(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     data = fig6(config)
     for shape, rows in data.items():
         print(format_table(rows, title=f"Figure 6 - {shape} QCs"))
         print()
 
 
-def _cmd_fig7(config: ExperimentConfig, args) -> None:
+def _cmd_fig7(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     print(format_table(fig7(config),
                        title="Figure 7 - FIFO across the QC spectrum"))
 
 
-def _cmd_fig8(config: ExperimentConfig, args) -> None:
+def _cmd_fig8(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     data = fig8(config)
     for policy in ("UH", "QH", "QUTS"):
         print(format_table(data[policy], title=f"Figure 8 - {policy}"))
@@ -113,7 +130,8 @@ def _cmd_fig8(config: ExperimentConfig, args) -> None:
                        title="QUTS improvement over UH / QH"))
 
 
-def _cmd_fig9(config: ExperimentConfig, args) -> None:
+def _cmd_fig9(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     data = fig9(config)
     print(format_table(data["phase_rho"],
                        title="Figure 9d - mean rho per preference phase"))
@@ -129,7 +147,8 @@ def _cmd_fig9(config: ExperimentConfig, args) -> None:
                         title="Figure 9d - rho over time"))
 
 
-def _cmd_fig10(config: ExperimentConfig, args) -> None:
+def _cmd_fig10(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     data = fig10(config)
     print(format_table(data["omega"],
                        title="Figure 10a - sensitivity to adaptation "
@@ -139,7 +158,8 @@ def _cmd_fig10(config: ExperimentConfig, args) -> None:
                        title="Figure 10b - sensitivity to atom time tau"))
 
 
-def _cmd_faults(config: ExperimentConfig, args) -> None:
+def _cmd_faults(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     rows = fault_sweep(config)
     print(format_table(rows,
                        title="Robustness - profit retention under replica "
@@ -148,7 +168,8 @@ def _cmd_faults(config: ExperimentConfig, args) -> None:
                              "baselines)"))
 
 
-def _cmd_recover(config: ExperimentConfig, args) -> None:
+def _cmd_recover(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     rows = recovery_sweep(config)
     print(format_table(rows,
                        title="Durability - checkpoint interval vs. "
@@ -157,16 +178,19 @@ def _cmd_recover(config: ExperimentConfig, args) -> None:
                              "rows are the fault-free baselines)"))
 
 
-def _cmd_table3(config: ExperimentConfig, args) -> None:
+def _cmd_table3(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     rows = [{"parameter": k, "value": v} for k, v in table3(config)]
     print(format_table(rows, title="Table 3 - workload information"))
 
 
-def _cmd_table4(config: ExperimentConfig, args) -> None:
+def _cmd_table4(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     print(format_table(table4(), title="Table 4 - QC grid"))
 
 
-def _cmd_run(config: ExperimentConfig, args) -> None:
+def _cmd_run(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     trace = config.trace()
     result = run_simulation(make_scheduler(args.policy), trace,
                             QCFactory.balanced(), master_seed=args.seed)
@@ -184,13 +208,15 @@ def _cmd_run(config: ExperimentConfig, args) -> None:
     print(format_table(counters, title="outcome counters"))
 
 
-def _cmd_ablation(config: ExperimentConfig, args) -> None:
+def _cmd_ablation(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     rows = ABLATIONS[args.which](config)
     print(format_table(rows, title=f"Ablation - {args.which} "
                                    f"({config.scale} scale)"))
 
 
-def _cmd_export(config: ExperimentConfig, args) -> None:
+def _cmd_export(config: ExperimentConfig,
+              args: argparse.Namespace) -> None:
     """Write each requested figure's data as CSV files under --out."""
     import pathlib
 
@@ -209,22 +235,26 @@ def _cmd_export(config: ExperimentConfig, args) -> None:
             print(f"wrote {target} ({len(rows)} rows)")
 
 
-def _export_fig1(config, trace):
+def _export_fig1(config: ExperimentConfig,
+                 trace: Trace) -> ExportIter:
     yield "", fig1(config, trace=trace)
 
 
-def _export_fig7(config, trace):
+def _export_fig7(config: ExperimentConfig,
+                 trace: Trace) -> ExportIter:
     yield "", fig7(config, trace=trace)
 
 
-def _export_fig8(config, trace):
+def _export_fig8(config: ExperimentConfig,
+                 trace: Trace) -> ExportIter:
     data = fig8(config, trace=trace)
     for policy in ("UH", "QH", "QUTS"):
         yield f"_{policy.lower()}", data[policy]
     yield "_improvements", data["improvements"]
 
 
-def _export_fig9(config, trace):
+def _export_fig9(config: ExperimentConfig,
+                 trace: Trace) -> ExportIter:
     data = fig9(config, trace=trace)
     yield "_phase_rho", data["phase_rho"]
     rho = data["rho_series"]
@@ -236,7 +266,8 @@ def _export_fig9(config, trace):
                                                  maxima.items())]
 
 
-def _export_fig10(config, trace):
+def _export_fig10(config: ExperimentConfig,
+                 trace: Trace) -> ExportIter:
     data = fig10(config, trace=trace)
     yield "_omega", data["omega"]
     yield "_tau", data["tau"]

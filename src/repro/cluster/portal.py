@@ -45,10 +45,11 @@ from repro.metrics.profit import ProfitLedger
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment
 from repro.sim.invariants import InvariantMonitor
+from repro.sim.process import ProcessGenerator
 from repro.sim.monitor import CounterSet
 from repro.sim.rng import StreamRegistry
 
-from .routers import NoHealthyReplica, Router, RoundRobinRouter
+from .routers import (NoHealthyReplica, RoundRobinRouter, Router)
 
 #: A missed broadcast, kept for recovery re-sync: (exec_ms, item, value).
 _MissedUpdate = tuple[float, str, float]
@@ -226,7 +227,7 @@ class ReplicatedPortal:
         if self.monitor is not None:
             self.monitor.record(kind, txn_id=txn.txn_id, **data)
 
-    def _checkpointer(self):
+    def _checkpointer(self) -> ProcessGenerator:
         """Periodically checkpoint every live replica (durability only)."""
         interval = typing.cast(
             DurabilityConfig, self.durability).checkpoint_interval_ms
@@ -406,7 +407,7 @@ class ReplicatedPortal:
                          name=f"failover-{query.txn_id}")
 
     def _failover(self, query: Query, ledger: ProfitLedger,
-                  backup_index: int | None):
+                  backup_index: int | None) -> ProcessGenerator:
         # Hedge: the router pre-nominated a backup — resubmit immediately.
         if backup_index is not None and self.replicas[backup_index].up:
             self._adopt(query, backup_index)

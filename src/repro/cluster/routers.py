@@ -37,7 +37,7 @@ class NoHealthyReplica(RuntimeError):
     """Raised when a router must choose but every replica is down."""
 
 
-def _is_up(replica) -> bool:
+def _is_up(replica: "ReplicaHandle") -> bool:
     # Health is an optional attribute so that plain stand-ins (tests,
     # other deployment shapes) without a lifecycle still route.
     return getattr(replica, "up", True)
@@ -54,7 +54,8 @@ class Router:
         raise NotImplementedError
 
     @staticmethod
-    def healthy_indices(replicas) -> list[int]:
+    def healthy_indices(
+            replicas: "typing.Sequence[ReplicaHandle]") -> list[int]:
         """Indices of the replicas that are up; raises when none are."""
         healthy = [i for i, replica in enumerate(replicas)
                    if _is_up(replica)]
@@ -75,7 +76,8 @@ class RoundRobinRouter(Router):
     def __init__(self) -> None:
         self._next = 0
 
-    def choose(self, query: Query, replicas) -> int:
+    def choose(self, query: Query,
+               replicas: "typing.Sequence[ReplicaHandle]") -> int:
         n = len(replicas)
         for offset in range(n):
             index = (self._next + offset) % n
@@ -90,7 +92,8 @@ class LeastLoadedRouter(Router):
 
     name = "least-loaded"
 
-    def choose(self, query: Query, replicas) -> int:
+    def choose(self, query: Query,
+               replicas: "typing.Sequence[ReplicaHandle]") -> int:
         return min(self.healthy_indices(replicas),
                    key=lambda i: (replicas[i].pending_queries(), i))
 
@@ -115,7 +118,8 @@ class QCAwareRouter(Router):
             raise ValueError("qod_threshold must be in [0, 1]")
         self.qod_threshold = qod_threshold
 
-    def choose(self, query: Query, replicas) -> int:
+    def choose(self, query: Query,
+               replicas: "typing.Sequence[ReplicaHandle]") -> int:
         healthy = self.healthy_indices(replicas)
         total = query.qc.total_max
         qod_share = query.qc.qod_max / total if total > 0 else 0.0
@@ -143,10 +147,12 @@ class HedgedRouter(Router):
         self.inner = inner or QCAwareRouter()
         self.name = f"hedged({self.inner.name})"
 
-    def choose(self, query: Query, replicas) -> int:
+    def choose(self, query: Query,
+               replicas: "typing.Sequence[ReplicaHandle]") -> int:
         return self.inner.choose(query, replicas)
 
-    def choose_backup(self, query: Query, replicas,
+    def choose_backup(self, query: Query,
+                      replicas: "typing.Sequence[ReplicaHandle]",
                       primary: int) -> int | None:
         alternatives = [i for i in range(len(replicas))
                         if i != primary and _is_up(replicas[i])]

@@ -13,11 +13,15 @@ from repro.qc.contracts import QualityContract
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment
 from repro.sim.invariants import InvariantMonitor
+from repro.sim.process import ProcessGenerator
 from repro.sim.rng import StreamRegistry
 from repro.workload.traces import Trace
 
 from .portal import ReplicatedPortal
 from .routers import Router
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import QCSource
 
 
 class ClusterResult:
@@ -111,7 +115,7 @@ def _check_monotonic(kind: str, arrival_ms: float, previous: float,
 def run_cluster_simulation(n_replicas: int,
                            scheduler_factory: typing.Callable[[], Scheduler],
                            trace: Trace,
-                           qc_source,
+                           qc_source: "QCSource",
                            *,
                            router: Router | None = None,
                            master_seed: int = 0,
@@ -161,7 +165,7 @@ def run_cluster_simulation(n_replicas: int,
                 if fault_plan is not None else None)
     qc_rng = streams.stream("qc.sampler")
 
-    def query_source(env):
+    def query_source(env: Environment) -> ProcessGenerator:
         previous = 0.0
         for i, record in enumerate(trace.queries):
             _check_monotonic("query", record.arrival_ms, previous, i)
@@ -178,7 +182,7 @@ def run_cluster_simulation(n_replicas: int,
                     portal.submit_query(Query(env.now, record.exec_ms,
                                               record.items, contract))
 
-    def update_source(env):
+    def update_source(env: Environment) -> ProcessGenerator:
         previous = 0.0
         for i, record in enumerate(trace.updates):
             _check_monotonic("update", record.arrival_ms, previous, i)

@@ -28,6 +28,7 @@ import typing
 from repro.metrics.profit import ProfitLedger
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment, Interrupt
+from repro.sim.process import ProcessGenerator
 from repro.sim.invariants import InvariantMonitor
 from repro.sim.monitor import TimeSeries
 from repro.sim.rng import StreamRegistry
@@ -246,7 +247,7 @@ class DatabaseServer:
     # ------------------------------------------------------------------
     # The executor process
     # ------------------------------------------------------------------
-    def _executor(self):
+    def _executor(self) -> ProcessGenerator:
         env = self.env
         while True:
             if self._crashed:
@@ -295,7 +296,7 @@ class DatabaseServer:
 
             yield from self._run(txn)
 
-    def _charge_overhead(self, txn: Transaction):
+    def _charge_overhead(self, txn: Transaction) -> ProcessGenerator:
         """Burn the switch overhead; returns True if interrupted (in which
         case ``txn`` was requeued and the caller should re-decide).
 
@@ -318,7 +319,7 @@ class DatabaseServer:
             self._running = None
         return False
 
-    def _run(self, txn: Transaction):
+    def _run(self, txn: Transaction) -> ProcessGenerator:
         env = self.env
         txn.status = TxnStatus.RUNNING
         if txn.start_time is None:
@@ -599,7 +600,7 @@ class DatabaseServer:
                 self.ledger.on_update_unfinished(typing.cast(Update, txn))
                 self._observe("update_unfinished", txn)
 
-    def _queue_sampler(self):
+    def _queue_sampler(self) -> ProcessGenerator:
         every = self.config.queue_sample_every
         while True:
             yield self.env.timeout(every)

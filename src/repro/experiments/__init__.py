@@ -3,13 +3,12 @@
 from .ablations import (ABLATIONS, ablation_invalidation,
                         ablation_low_level, ablation_preemption,
                         ablation_rho)
-from .config import (DEFAULT_SCALE, ExperimentConfig, POLICY_NAMES, SCALES,
+from .config import (DEFAULT_SCALE, POLICY_NAMES, SCALES, ExperimentConfig,
                      chosen_scale, table4_grid, table4_rows)
 from .faults import (FAULT_MTTFS_MS, FAULT_MTTR_MS, FAULT_POLICIES,
                      FAULT_REPLICAS, fault_sweep, sample_fault_plans)
-from .figures import (FIG9_PHASE_MS, FIG9_RATIOS, FIG10_OMEGAS_MS,
-                      FIG10_TAUS_MS, fig1, fig5, fig6, fig7, fig8, fig9,
-                      fig10)
+from .figures import (FIG10_OMEGAS_MS, FIG10_TAUS_MS, FIG9_PHASE_MS,
+                      FIG9_RATIOS, fig1, fig10, fig5, fig6, fig7, fig8, fig9)
 from .recovery import (RECOVERY_CHECKPOINTS_MS, RECOVERY_CRASH_AT_MS,
                        RECOVERY_DOWN_MS, RECOVERY_POLICIES,
                        RECOVERY_REPLICAS, recovery_crash_time,

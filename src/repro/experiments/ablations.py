@@ -26,9 +26,11 @@ from repro.scheduling import (InheritanceQUTSScheduler, QUTSScheduler,
                               make_priority, make_qh, make_uh)
 from repro.workload.traces import Trace
 
+from repro.metrics.results import SimulationResult
+
 from .config import ExperimentConfig
 from .figures import FIG9_PHASE_MS, FIG9_RATIOS
-from .runner import run_simulation
+from .runner import QCSource, run_simulation
 
 Row = dict[str, typing.Any]
 
@@ -44,7 +46,7 @@ def _flip_flop_factory(trace: Trace) -> PhasedQCFactory:
     return PhasedQCFactory.flip_flop(FIG9_PHASE_MS, ratios)
 
 
-def _profit_cells(result) -> Row:
+def _profit_cells(result: SimulationResult) -> Row:
     return {"QOS%": result.qos_percent, "QOD%": result.qod_percent,
             "total%": result.total_percent}
 
@@ -53,14 +55,16 @@ def _profit_cells(result) -> Row:
 # Worker task functions (module-level so they pickle; schedulers are
 # constructed inside the worker — they are stateful once bound)
 # ----------------------------------------------------------------------
-def _rho_task(fixed_rho, trace, factory, master_seed):
+def _rho_task(fixed_rho: float | None, trace: Trace, factory: QCSource,
+              master_seed: int) -> SimulationResult:
     scheduler = (QUTSScheduler() if fixed_rho is None
                  else QUTSScheduler(fixed_rho=fixed_rho))
     return run_simulation(scheduler, trace, factory,
                           master_seed=master_seed)
 
 
-def _low_level_task(kind, trace, factory, master_seed):
+def _low_level_task(kind: str, trace: Trace, factory: QCSource,
+                    master_seed: int) -> SimulationResult:
     if kind == "inherited":
         scheduler = InheritanceQUTSScheduler()
     elif kind == "uh":
@@ -71,13 +75,17 @@ def _low_level_task(kind, trace, factory, master_seed):
                           master_seed=master_seed)
 
 
-def _invalidation_task(invalidation, trace, factory, master_seed):
+def _invalidation_task(invalidation: bool, trace: Trace,
+                       factory: QCSource,
+                       master_seed: int) -> SimulationResult:
     return run_simulation(make_qh(), trace, factory,
                           master_seed=master_seed,
                           invalidation=invalidation)
 
 
-def _preemption_task(policy_name, semantics, trace, factory, master_seed):
+def _preemption_task(policy_name: str, semantics: str, trace: Trace,
+                     factory: QCSource,
+                     master_seed: int) -> SimulationResult:
     scheduler = make_qh() if policy_name == "QH" else QUTSScheduler()
     return run_simulation(
         scheduler, trace, factory, master_seed=master_seed,

@@ -100,7 +100,7 @@ def fault_sweep(config: ExperimentConfig, *,
     return rows
 
 
-def _fault_task(policy: str, trace, n_replicas: int,
+def _fault_task(policy: str, trace: Trace, n_replicas: int,
                 plan: FaultPlan | None, master_seed: int) -> ClusterResult:
     # Fresh router per run: routers are stateful (cycle position, hedges).
     return run_cluster_simulation(

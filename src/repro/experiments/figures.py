@@ -20,21 +20,23 @@ from repro.workload import stats as trace_stats
 from repro.workload.synthetic import StockWorkloadGenerator
 from repro.workload.traces import Trace
 
-from .config import ExperimentConfig, POLICY_NAMES, table4_grid
-from .runner import run_simulation
+from .config import (POLICY_NAMES, ExperimentConfig, table4_grid)
+from .runner import QCSource, run_simulation
 
 
 # ----------------------------------------------------------------------
 # Worker task functions (module-level so they pickle; schedulers are
 # constructed *inside* the task — they are stateful once bound)
 # ----------------------------------------------------------------------
-def _policy_run_task(policy: str, trace: Trace, qc_source,
+def _policy_run_task(policy: str, trace: Trace,
+                     qc_source: QCSource | None,
                      master_seed: int) -> SimulationResult:
     return run_simulation(make_scheduler(policy), trace, qc_source,
                           master_seed=master_seed)
 
 
-def _quts_param_task(param: str, value: float, trace: Trace, qc_source,
+def _quts_param_task(param: str, value: float, trace: Trace,
+                     qc_source: QCSource | None,
                      master_seed: int) -> SimulationResult:
     scheduler = QUTSScheduler(**{param: value})
     return run_simulation(scheduler, trace, qc_source,

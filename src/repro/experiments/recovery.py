@@ -97,7 +97,7 @@ def recovery_sweep(config: ExperimentConfig, *,
     return rows
 
 
-def _recovery_task(policy: str, trace, n_replicas: int,
+def _recovery_task(policy: str, trace: Trace, n_replicas: int,
                    plan: FaultPlan | None,
                    durability: DurabilityConfig | None,
                    invariants: bool, master_seed: int) -> ClusterResult:

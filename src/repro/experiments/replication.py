@@ -27,6 +27,9 @@ from repro.parallel import Task, run_tasks
 from repro.scheduling import make_scheduler
 from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
 
+if typing.TYPE_CHECKING:
+    from .runner import QCSource
+
 #: Metric extractors over a SimulationResult, by report column name.
 METRICS: dict[str, typing.Callable[[SimulationResult], float]] = {
     "QOS%": lambda r: r.qos_percent,
@@ -80,7 +83,7 @@ class MetricSummary:
 
 
 def _replication_task(policy: str, spec: WorkloadSpec, seed: int,
-                      qc_source) -> SimulationResult:
+                      qc_source: "QCSource | None") -> SimulationResult:
     """One replication: regenerate the workload and run it (worker-side,
     so trace generation parallelises too)."""
     from .runner import run_simulation  # local import: avoid cycle

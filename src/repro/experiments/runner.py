@@ -20,12 +20,14 @@ from repro.qc.contracts import QualityContract
 from repro.scheduling.base import Scheduler
 from repro.scheduling.quts import QUTSScheduler
 from repro.sim import Environment
-from repro.sim.rng import StreamRegistry
+from repro.sim.process import ProcessGenerator
+from repro.sim.rng import RandomStream, StreamRegistry
 from repro.workload.traces import Trace
 
 #: Anything with ``sample(rng, now) -> QualityContract`` can price queries.
 class QCSource(typing.Protocol):
-    def sample(self, rng, now: float = 0.0) -> QualityContract:
+    def sample(self, rng: RandomStream,
+               now: float = 0.0) -> QualityContract:
         ...  # pragma: no cover
 
 
@@ -35,7 +37,8 @@ class _FixedQCSource:
     def __init__(self, contract: QualityContract) -> None:
         self._contract = contract
 
-    def sample(self, rng, now: float = 0.0) -> QualityContract:
+    def sample(self, rng: RandomStream,
+               now: float = 0.0) -> QualityContract:
         return self._contract
 
 
@@ -101,7 +104,8 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
 
 
 def _query_source(env: Environment, server: DatabaseServer, trace: Trace,
-                  qc_source: QCSource, qc_rng):
+                  qc_source: QCSource,
+                  qc_rng: RandomStream) -> ProcessGenerator:
     """Replays the trace's queries, pricing each with a fresh contract."""
     for record in trace.queries:
         delay = record.arrival_ms - env.now
@@ -112,7 +116,8 @@ def _query_source(env: Environment, server: DatabaseServer, trace: Trace,
                                   contract))
 
 
-def _update_source(env: Environment, server: DatabaseServer, trace: Trace):
+def _update_source(env: Environment, server: DatabaseServer,
+                   trace: Trace) -> ProcessGenerator:
     """Replays the trace's updates."""
     for record in trace.updates:
         delay = record.arrival_ms - env.now

@@ -34,10 +34,11 @@ from __future__ import annotations
 import typing
 
 from repro.sim import Environment, Event
+from repro.sim.process import ProcessGenerator
 
 from .plan import (CRASH, PORTAL_CRASH, PORTAL_RECOVER, RECOVER,
                    RESUME_UPDATES, SPIKE_END, SPIKE_START, STALL_UPDATES,
-                   FaultPlan)
+                   FaultEvent, FaultPlan)
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.portal import ReplicatedPortal
@@ -82,7 +83,7 @@ class FaultInjector:
         """Clone count the runner submits on top of each trace query."""
         return max(0, round(self._spike_multiplier) - 1)
 
-    def update_gate(self):
+    def update_gate(self) -> ProcessGenerator:
         """Generator the update source yields from before each delivery;
         parks the source while the update stream is stalled."""
         while self._stall_released is not None:
@@ -91,7 +92,7 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # The driver process
     # ------------------------------------------------------------------
-    def _driver(self):
+    def _driver(self) -> ProcessGenerator:
         env = self.env
         for event in self.plan:
             delay = event.at_ms - env.now
@@ -99,7 +100,7 @@ class FaultInjector:
                 yield env.timeout(delay)
             self._fire(event)
 
-    def _fire(self, event) -> None:
+    def _fire(self, event: FaultEvent) -> None:
         self.fired[event.kind] = self.fired.get(event.kind, 0) + 1
         if event.kind == CRASH:
             self.portal.crash_replica(event.replica)

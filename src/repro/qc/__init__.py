@@ -1,7 +1,6 @@
 """Quality Contracts: the paper's unifying QoS/QoD preference framework."""
 
-from .contracts import (CompositionMode, DEFAULT_LIFETIME_MS,
-                        QualityContract)
+from .contracts import (DEFAULT_LIFETIME_MS, CompositionMode, QualityContract)
 from .functions import (LinearProfit, PiecewiseLinearProfit, ProfitFunction,
                         StepProfit, ZeroProfit)
 from .generator import PhasedQCFactory, QCFactory

@@ -20,8 +20,7 @@ import typing
 
 from repro.sim.rng import RandomStream
 
-from .contracts import (CompositionMode, DEFAULT_LIFETIME_MS,
-                        QualityContract)
+from .contracts import (DEFAULT_LIFETIME_MS, CompositionMode, QualityContract)
 
 Shape = typing.Literal["step", "linear"]
 

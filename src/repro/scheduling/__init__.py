@@ -1,13 +1,15 @@
 """Query/update scheduling policies: FIFO, UH, QH, the naive Figure 1
 variants, and QUTS."""
 
+import typing
+
 from .base import Scheduler, SchedulerFactory
 from .dual import (DualQueueScheduler, make_fifo_qh, make_fifo_uh, make_qh,
                    make_uh)
 from .fifo import FIFOScheduler
 from .inheritance import (InheritanceQUTSScheduler, InheritedQoDPriority,
                           InterestTable)
-from .priorities import (EDFPriority, FCFSPriority, PRIORITY_POLICIES,
+from .priorities import (PRIORITY_POLICIES, EDFPriority, FCFSPriority,
                          PriorityPolicy, ProfitRatePriority, VRDPriority,
                          make_priority)
 from .queues import TransactionQueue
@@ -23,7 +25,7 @@ STANDARD_SCHEDULERS: dict[str, SchedulerFactory] = {
 }
 
 
-def make_scheduler(name: str, **kwargs) -> Scheduler:
+def make_scheduler(name: str, **kwargs: typing.Any) -> Scheduler:
     """Build a scheduler by name ("FIFO", "UH", "QH", "QUTS", "FIFO-UH",
     "FIFO-QH"); QUTS accepts its keyword parameters (tau, omega, alpha...)."""
     if name == "QUTS":

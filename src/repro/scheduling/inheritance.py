@@ -27,6 +27,8 @@ documented behaviour, not a bug.
 
 from __future__ import annotations
 
+import typing
+
 from repro.db.transactions import Query, Transaction, Update
 
 from .priorities import PriorityPolicy
@@ -86,7 +88,7 @@ class InheritanceQUTSScheduler(QUTSScheduler):
 
     name = "QUTS-inherit"
 
-    def __init__(self, **quts_kwargs) -> None:
+    def __init__(self, **quts_kwargs: typing.Any) -> None:
         interest = InterestTable()
         super().__init__(update_policy=InheritedQoDPriority(interest),
                          **quts_kwargs)

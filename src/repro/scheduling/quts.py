@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from repro.db.transactions import Query, Transaction, Update
 from repro.sim import Environment, TimeSeries
+from repro.sim.process import ProcessGenerator
 from repro.sim.rng import RandomStream, StreamRegistry
 
 from .base import Scheduler
@@ -124,7 +125,7 @@ class QUTSScheduler(Scheduler):
         if self.fixed_rho is None:
             env.process(self._adaptation_loop(env), name="quts-adaptation")
 
-    def _adaptation_loop(self, env: Environment):
+    def _adaptation_loop(self, env: Environment) -> ProcessGenerator:
         """Recompute ρ at the start of each adaptation period ω (§4.1)."""
         while True:
             yield env.timeout(self.omega)

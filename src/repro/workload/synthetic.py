@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import typing
 
 from repro.sim.rng import RandomStream, StreamRegistry
 
@@ -316,14 +317,14 @@ def paper_trace(master_seed: int = 0,
 # ----------------------------------------------------------------------
 # Sampling helpers
 # ----------------------------------------------------------------------
-def _seconds(duration_ms: float):
+def _seconds(duration_ms: float) -> typing.Iterator[float]:
     t = 0.0
     while t < duration_ms:
         yield t
         t += 1000.0
 
 
-def _poisson(rng, mean: float) -> int:
+def _poisson(rng: RandomStream, mean: float) -> int:
     """Poisson variate via Knuth (small means) / normal approx (large)."""
     if mean <= 0:
         return 0
@@ -338,7 +339,7 @@ def _poisson(rng, mean: float) -> int:
     return count
 
 
-def _geometric(rng, p: float) -> int:
+def _geometric(rng: RandomStream, p: float) -> int:
     """Geometric variate on {1, 2, ...} with success probability ``p``."""
     if p >= 1.0:
         return 1
@@ -346,7 +347,8 @@ def _geometric(rng, p: float) -> int:
     return 1 + int(math.log(max(u, 1e-300)) / math.log(1.0 - p))
 
 
-def _draw_pmf(rng, pmf) -> int:
+def _draw_pmf(rng: RandomStream,
+              pmf: typing.Sequence[float]) -> int:
     u = rng.random()
     acc = 0.0
     for index, p in enumerate(pmf):
@@ -356,7 +358,8 @@ def _draw_pmf(rng, pmf) -> int:
     return len(pmf) - 1
 
 
-def _distinct_stocks(rng, universe: StockUniverse, n_items: int,
+def _distinct_stocks(rng: RandomStream, universe: StockUniverse,
+                     n_items: int,
                      theta: float) -> tuple[str, ...]:
     chosen: list[str] = []
     seen: set[str] = set()

@@ -1,0 +1,476 @@
+"""Tests for ``repro.analysis`` — the simlint determinism linter.
+
+Every rule gets the same treatment: a fixture that must fire, a
+near-miss that must stay quiet, and a suppressed variant via
+``# repro: lint-ignore[rule-id]``.  A meta-test then runs the linter
+over this repository itself and requires a clean bill.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
+                            Finding, LintConfig, lint_paths, main,
+                            render_json, render_text)
+from repro.analysis.core import LintUsageError, find_project_root
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Default fixture location: inside the hot-path scope so that every
+#: rule (including the scoped ones) is live.
+HOT_RELPATH = "src/repro/sim/fixture_mod.py"
+
+
+def lint_snippet(tmp_path, code, relpath=HOT_RELPATH, select=(),
+                 extra=()):
+    """Write ``code`` at ``relpath`` under a scratch root and lint it."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(code))
+    for other_relpath, other_code in extra:
+        other = tmp_path / other_relpath
+        other.parent.mkdir(parents=True, exist_ok=True)
+        other.write_text(textwrap.dedent(other_code))
+    config = LintConfig(select=tuple(select))
+    return lint_paths([tmp_path], config=config, root=tmp_path)
+
+
+def rule_ids(findings):
+    return [finding.rule_id for finding in findings]
+
+
+# ----------------------------------------------------------------------
+class TestNoWallClock:
+    def test_fires_on_time_time(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            t0 = time.time()
+            """, select=["no-wall-clock"])
+        assert rule_ids(findings) == ["no-wall-clock"]
+        assert findings[0].line == 2
+
+    def test_fires_on_from_import_and_use(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from time import perf_counter
+            t0 = perf_counter()
+            """, select=["no-wall-clock"])
+        assert rule_ids(findings) == ["no-wall-clock"] * 2
+
+    def test_fires_on_aliased_datetime_now(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import datetime as dt
+            stamp = dt.datetime.now()
+            """, select=["no-wall-clock"])
+        assert rule_ids(findings) == ["no-wall-clock"]
+
+    def test_quiet_on_simulated_clock_and_lookalikes(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def run(env, server):
+                t = env.now
+                d = server.time()   # not the stdlib time module
+                return t, d
+            """, select=["no-wall-clock"])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            t0 = time.time()  # repro: lint-ignore[no-wall-clock] bench
+            """, select=["no-wall-clock"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestNoGlobalRng:
+    def test_fires_on_random_import_and_draw(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import random
+            x = random.random()
+            """, select=["no-global-rng"])
+        assert rule_ids(findings) == ["no-global-rng"] * 2
+
+    def test_fires_on_numpy_random_alias(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import numpy as np
+            v = np.random.rand(3)
+            """, select=["no-global-rng"])
+        assert rule_ids(findings) == ["no-global-rng"]
+
+    def test_quiet_on_stream_registry(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.sim.rng import StreamRegistry
+
+            def draw(master_seed):
+                rng = StreamRegistry(master_seed).stream("queries")
+                return rng.exponential(10.0)
+            """, select=["no-global-rng"])
+        assert findings == []
+
+    def test_rng_module_itself_is_exempt(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import random
+
+            class Stream(random.Random):
+                pass
+            """, relpath="src/repro/sim/rng.py",
+            select=["no-global-rng"])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            # repro: lint-ignore[no-global-rng] seeding docs example
+            import random
+            """, select=["no-global-rng"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestPicklableTasks:
+    def test_fires_on_lambda_task(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.parallel import Task
+            t = Task(lambda: 1, key="bad")
+            """, select=["picklable-tasks"])
+        assert rule_ids(findings) == ["picklable-tasks"]
+        assert "lambda" in findings[0].message
+
+    def test_fires_on_nested_function(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.parallel import Task
+
+            def sweep():
+                def inner(seed):
+                    return seed
+                return [Task(inner, (s,)) for s in range(3)]
+            """, select=["picklable-tasks"])
+        assert rule_ids(findings) == ["picklable-tasks"]
+        assert "inner" in findings[0].message
+
+    def test_fires_on_lambda_inside_run_tasks(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.parallel import run_tasks
+
+            def sweep(tasks):
+                return run_tasks([t.replace(fn=lambda: 0)
+                                  for t in tasks])
+            """, select=["picklable-tasks"])
+        assert rule_ids(findings) == ["picklable-tasks"]
+
+    def test_quiet_on_module_level_function(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.parallel import Task, run_tasks
+
+            def job(seed):
+                return seed * 2
+
+            def sweep():
+                return run_tasks([Task(job, (s,)) for s in range(3)])
+            """, select=["picklable-tasks"])
+        assert findings == []
+
+    def test_quiet_on_unrelated_task_class(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            class Task:
+                def __init__(self, fn):
+                    self.fn = fn
+
+            t = Task(lambda: 1)
+            """, select=["picklable-tasks"])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.parallel import Task
+            t = Task(lambda: 1)  # repro: lint-ignore[picklable-tasks]
+            """, select=["picklable-tasks"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestSlotsHygiene:
+    BASE = """\
+        class Event:
+            __slots__ = ("env", "callbacks")
+        """
+
+    def test_fires_on_unslotted_subclass(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.BASE + """\
+
+            class Timeout(Event):
+                pass
+            """, select=["slots-hygiene"])
+        assert rule_ids(findings) == ["slots-hygiene"]
+        assert "Timeout" in findings[0].message
+
+    def test_fires_across_modules(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.sim.base_fixture import Event
+
+            class Timeout(Event):
+                pass
+            """, select=["slots-hygiene"],
+            extra=[("src/repro/sim/base_fixture.py", self.BASE)])
+        assert rule_ids(findings) == ["slots-hygiene"]
+
+    def test_fires_on_class_level_mutable_default(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            class Queue:
+                __slots__ = ("items",)
+                shared_cache = {}
+            """, select=["slots-hygiene"])
+        assert rule_ids(findings) == ["slots-hygiene"]
+        assert "shared_cache" in findings[0].message
+
+    def test_quiet_on_slotted_subclass_and_tuples(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.BASE + """\
+
+            class Timeout(Event):
+                __slots__ = ("delay",)
+                KINDS = ("soft", "hard")
+            """, select=["slots-hygiene"])
+        assert findings == []
+
+    def test_out_of_scope_path_is_quiet(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.BASE + """\
+
+            class Timeout(Event):
+                pass
+            """, relpath="src/repro/experiments/fixture_mod.py",
+            select=["slots-hygiene"])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_snippet(tmp_path, self.BASE + """\
+
+            # repro: lint-ignore[slots-hygiene] debug-only subclass
+            class Traced(Event):
+                pass
+            """, select=["slots-hygiene"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestNoFloatEqOnClock:
+    def test_fires_on_eq(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def fire(env, deadline):
+                return env.now == deadline
+            """, select=["no-float-eq-on-clock"])
+        assert rule_ids(findings) == ["no-float-eq-on-clock"]
+
+    def test_fires_on_ne_reversed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def fire(env, deadline):
+                return deadline != env.now
+            """, select=["no-float-eq-on-clock"])
+        assert rule_ids(findings) == ["no-float-eq-on-clock"]
+
+    def test_quiet_on_ordering(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def fire(env, deadline):
+                return env.now >= deadline and env.nowhere == 3
+            """, select=["no-float-eq-on-clock"])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def fire(env):
+                return env.now == 0.0  # repro: lint-ignore[no-float-eq-on-clock]
+            """, select=["no-float-eq-on-clock"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestExceptionHygiene:
+    def test_fires_on_bare_except(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            try:
+                step()
+            except:
+                recover()
+            """, select=["exception-hygiene"])
+        assert rule_ids(findings) == ["exception-hygiene"]
+
+    def test_fires_on_broad_pass_in_hot_path(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            try:
+                step()
+            except Exception:
+                pass
+            """, relpath="src/repro/db/fixture_mod.py",
+            select=["exception-hygiene"])
+        assert rule_ids(findings) == ["exception-hygiene"]
+
+    def test_quiet_on_narrow_handler_and_cold_path(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            try:
+                step()
+            except ValueError:
+                pass
+            except Exception as exc:
+                log(exc)
+                raise
+            """, select=["exception-hygiene"])
+        assert findings == []
+        # Broad except-and-pass is tolerated outside the hot paths.
+        findings = lint_snippet(tmp_path, """\
+            try:
+                step()
+            except Exception:
+                pass
+            """, relpath="examples/fixture_mod.py",
+            select=["exception-hygiene"])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            try:
+                step()
+            except:  # repro: lint-ignore[exception-hygiene] REPL shim
+                recover()
+            """, select=["exception-hygiene"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_bare_lint_ignore_suppresses_all_rules(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            import random
+            t = time.time()  # repro: lint-ignore
+            """)
+        assert rule_ids(findings) == ["no-global-rng"]
+
+    def test_allowlist_waives_rule_for_path(self, tmp_path):
+        target = tmp_path / "bench" / "speed.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import time\nt = time.time()\n")
+        config = LintConfig(
+            allow={"no-wall-clock": ("bench/speed.py",)})
+        findings = lint_paths([tmp_path], config=config,
+                              root=tmp_path)
+        assert findings == []
+
+    def test_allowlist_loaded_from_pyproject(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(textwrap.dedent("""\
+            [tool.repro.lint]
+            exclude = ["skipme"]
+
+            [tool.repro.lint.allow]
+            no-wall-clock = ["bench"]
+            """))
+        bench = tmp_path / "bench" / "speed.py"
+        bench.parent.mkdir()
+        bench.write_text("import time\nt = time.time()\n")
+        skipped = tmp_path / "skipme" / "junk.py"
+        skipped.parent.mkdir()
+        skipped.write_text("import random\n")
+        findings = lint_paths([tmp_path])
+        assert findings == []
+
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        findings = lint_paths([tmp_path], config=LintConfig(),
+                              root=tmp_path)
+        assert rule_ids(findings) == ["syntax-error"]
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        with pytest.raises(LintUsageError):
+            lint_paths([tmp_path],
+                       config=LintConfig(select=("no-such-rule",)),
+                       root=tmp_path)
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(LintUsageError):
+            lint_paths([tmp_path / "nope"], config=LintConfig(),
+                       root=tmp_path)
+
+    def test_findings_sorted_and_formatted(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import random
+            import time
+            t = time.time()
+            """)
+        assert findings == sorted(findings)
+        text = findings[0].format()
+        assert text.startswith(f"{HOT_RELPATH}:1:1: no-global-rng")
+
+    def test_find_project_root_walks_up(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text("[tool.repro.lint]\n")
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        assert find_project_root(nested) == tmp_path
+
+    def test_render_json_round_trips(self, tmp_path):
+        findings = [Finding("a.py", 3, 1, "no-wall-clock", "boom")]
+        payload = json.loads(render_json(findings))
+        assert payload["count"] == 1
+        assert payload["findings"][0]["line"] == 3
+        assert "1 finding(s)" in render_text(findings)
+
+
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_clean(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == EXIT_CLEAN
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_exit_findings_text(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        assert main([str(tmp_path)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "bad.py:2:5: no-wall-clock" in out
+
+    def test_exit_findings_json(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main([str(tmp_path), "--format", "json"]) == \
+            EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+
+    def test_exit_error_on_unknown_rule(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path), "--select", "bogus"]) == EXIT_ERROR
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_exit_error_on_missing_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == EXIT_ERROR
+
+    def test_select_narrows_rules(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main([str(tmp_path), "--select", "no-wall-clock"]) == \
+            EXIT_CLEAN
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in ("no-wall-clock", "no-global-rng",
+                        "picklable-tasks", "slots-hygiene",
+                        "no-float-eq-on-clock", "exception-hygiene"):
+            assert rule_id in out
+
+    def test_repro_cli_dispatches_lint(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert repro_main(["lint", str(tmp_path)]) == EXIT_CLEAN
+
+
+# ----------------------------------------------------------------------
+class TestSelfRun:
+    """The repository must pass its own determinism linter."""
+
+    def test_repo_is_clean(self, capsys):
+        paths = [str(REPO_ROOT / name)
+                 for name in ("src", "benchmarks", "examples")]
+        code = main(paths + ["--root", str(REPO_ROOT)])
+        out = capsys.readouterr().out
+        assert code == EXIT_CLEAN, f"simlint findings:\n{out}"

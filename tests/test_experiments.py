@@ -6,10 +6,9 @@ stays fast; shape assertions live in the integration tests and benches.
 
 import pytest
 
-from repro.experiments.config import (ExperimentConfig, SCALES,
-                                      chosen_scale, table4_grid,
-                                      table4_rows)
-from repro.experiments.figures import fig1, fig6, fig7, fig8, fig9, fig10
+from repro.experiments.config import (SCALES, ExperimentConfig, chosen_scale,
+                                      table4_grid, table4_rows)
+from repro.experiments.figures import (fig1, fig10, fig6, fig7, fig8, fig9)
 from repro.experiments.report import format_series, format_table
 from repro.experiments.runner import free_qc_source, run_simulation
 from repro.experiments.tables import table3, table4

@@ -16,9 +16,9 @@ from hypothesis import strategies as st
 
 from repro.cluster import HedgedRouter, run_cluster_simulation
 from repro.faults import FaultEvent, FaultPlan
-from repro.faults.plan import (CRASH, PORTAL_CRASH, PORTAL_RECOVER,
-                               RECOVER, SPIKE_END, SPIKE_START,
-                               STALL_UPDATES, RESUME_UPDATES)
+from repro.faults.plan import (CRASH, PORTAL_CRASH, PORTAL_RECOVER, RECOVER,
+                               RESUME_UPDATES, SPIKE_END, SPIKE_START,
+                               STALL_UPDATES)
 from repro.qc.generator import QCFactory
 from repro.scheduling import make_scheduler
 from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec

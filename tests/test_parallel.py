@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro.parallel import (Task, TaskTimeoutError, WORKERS_ENV,
+from repro.parallel import (WORKERS_ENV, Task, TaskTimeoutError,
                             resolve_workers, run_tasks, task_seed)
 from repro.sim.rng import StreamRegistry
 

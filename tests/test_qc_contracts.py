@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.qc.contracts import (CompositionMode, DEFAULT_LIFETIME_MS,
+from repro.qc.contracts import (DEFAULT_LIFETIME_MS, CompositionMode,
                                 QualityContract)
 from repro.qc.functions import StepProfit, ZeroProfit
 

@@ -4,10 +4,9 @@ import pytest
 
 from repro.db.transactions import Query, Update
 from repro.qc.contracts import QualityContract
-from repro.scheduling.priorities import (EDFPriority, FCFSPriority,
-                                         PRIORITY_POLICIES,
-                                         ProfitRatePriority, VRDPriority,
-                                         make_priority)
+from repro.scheduling.priorities import (PRIORITY_POLICIES, EDFPriority,
+                                         FCFSPriority, ProfitRatePriority,
+                                         VRDPriority, make_priority)
 
 
 def query(at=0.0, qosmax=10.0, qodmax=0.0, rtmax=50.0, exec_time=5.0):

@@ -13,8 +13,8 @@ from repro.sim.rng import RandomStream
 from repro.workload.stats import (per_stock_counts, query_rate_series,
                                   summarize, update_rate_series)
 from repro.workload.stocks import StockUniverse, ticker_symbol
-from repro.workload.synthetic import (CrowdEpisode, PAPER_DURATION_MS,
-                                      PAPER_N_QUERIES, PAPER_N_UPDATES,
+from repro.workload.synthetic import (PAPER_DURATION_MS, PAPER_N_QUERIES,
+                                      PAPER_N_UPDATES, CrowdEpisode,
                                       StockWorkloadGenerator, WorkloadSpec,
                                       _geometric, _poisson, paper_trace)
 
