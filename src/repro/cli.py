@@ -8,6 +8,8 @@ Examples::
     repro table3               # workload information
     repro run --policy QUTS    # a single simulation with default QCs
     repro lint src benchmarks  # simlint determinism static analysis
+    repro trace figures --fig 5 --out trace.json
+                               # instrumented run -> Perfetto trace
 """
 
 from __future__ import annotations
@@ -38,7 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Preference-Aware Query and Update "
                     "Scheduling in Web-databases' (ICDE 2007)",
         epilog="'repro lint [paths...]' runs the simlint determinism "
-               "static analyser (see 'repro lint --help')")
+               "static analyser (see 'repro lint --help'); "
+               "'repro trace <experiment>' runs one instrumented "
+               "simulation and exports a Chrome/Perfetto trace "
+               "(see 'repro trace --help')")
     parser.add_argument("experiment", choices=EXPERIMENTS,
                         help="which table/figure to regenerate")
     parser.add_argument("--scale", default=None,
@@ -70,6 +75,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         # --select); dispatch before the experiment parser sees it.
         from repro.analysis import main as lint_main
         return lint_main(argv[1:])
+    if argv[:1] == ["trace"]:
+        # Same pattern: the trace exporter owns its own grammar.
+        from repro.telemetry.cli import main as trace_main
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig.from_env(args.scale, workers=args.workers)
     handler = _HANDLERS[args.experiment]

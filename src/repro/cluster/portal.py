@@ -48,6 +48,7 @@ from repro.sim.invariants import InvariantMonitor
 from repro.sim.process import ProcessGenerator
 from repro.sim.monitor import CounterSet
 from repro.sim.rng import StreamRegistry
+from repro.telemetry.hooks import TelemetryKnob, TelemetrySession
 
 from .routers import (NoHealthyReplica, RoundRobinRouter, Router)
 
@@ -172,7 +173,8 @@ class ReplicatedPortal:
                  failover_retries: int = 6,
                  failover_backoff_ms: float = 50.0,
                  durability: DurabilityConfig | None = None,
-                 monitor: InvariantMonitor | None = None) -> None:
+                 monitor: InvariantMonitor | None = None,
+                 telemetry: TelemetryKnob = None) -> None:
         if n_replicas <= 0:
             raise ValueError("need at least one replica")
         if failover_retries < 0:
@@ -188,6 +190,12 @@ class ReplicatedPortal:
         self.failover_backoff_ms = failover_backoff_ms
         self.durability = durability
         self.monitor = monitor
+        #: One shared telemetry session across the portal and every
+        #: replica: each replica traces under its own ``replicaN`` scope,
+        #: cluster incidents under ``portal``.
+        self.telemetry = TelemetrySession.from_knob(telemetry)
+        self._probe = (self.telemetry.cluster_probe("portal")
+                       if self.telemetry is not None else None)
         self.replicas: list[ReplicaHandle] = []
         for index in range(n_replicas):
             ledger = ProfitLedger()
@@ -196,7 +204,9 @@ class ReplicatedPortal:
             server = DatabaseServer(
                 env, Database(), scheduler_factory(), ledger,
                 streams.spawn(f"replica-{index}"),
-                config=server_config, wal=wal, monitor=monitor)
+                config=server_config, wal=wal, monitor=monitor,
+                telemetry=self.telemetry,
+                telemetry_scope=f"replica{index}")
             self.replicas.append(ReplicaHandle(index, server, ledger, wal))
         if durability is not None:
             env.process(self._checkpointer(), name="checkpointer")
@@ -237,6 +247,8 @@ class ReplicatedPortal:
                 if handle.up:
                     handle.server.take_checkpoint()
                     self.fault_counters.increment("checkpoints_taken")
+                    if self._probe is not None:
+                        self._probe.checkpoint(self.env.now, handle.index)
 
     def __repr__(self) -> str:
         up = sum(1 for r in self.replicas if r.up)
@@ -310,6 +322,8 @@ class ReplicatedPortal:
         if self._portal_incident is not None:
             self._portal_incident.members.append(incident)
         self.fault_counters.increment("replica_crashes")
+        if self._probe is not None:
+            self._probe.crash(self.env.now, index)
         stranded = handle.server.crash()
         if handle.wal is not None:
             # The source is durable: the lost tail re-enters as re-sync
@@ -358,6 +372,8 @@ class ReplicatedPortal:
                 incident.checkpoint_at = (
                     checkpoint.taken_at if checkpoint is not None else None)
             self.fault_counters.increment("wal_records_replayed", replayed)
+            if self._probe is not None:
+                self._probe.replay(now, index, replayed)
         handle.up = True
         handle.downtime_ms += now - crashed_at
         self.outage_spans.append((crashed_at, now))
@@ -375,6 +391,8 @@ class ReplicatedPortal:
         if incident is not None:
             incident.recovered_at = now
             handle.open_incident = None
+        if self._probe is not None:
+            self._probe.recover(now, index, len(missed))
 
     def _lose_update(self, update: Update, handle: ReplicaHandle) -> None:
         """An in-flight update died with its replica; the source is
@@ -382,6 +400,8 @@ class ReplicatedPortal:
         update.status = TxnStatus.LOST_CRASH
         update.finish_time = self.env.now
         self._observe("update_lost", update)
+        if self._probe is not None:
+            self._probe.lost(self.env.now, update)
         self.fault_counters.increment("updates_lost_crash")
         handle.missed_updates.append(
             (update.exec_time, update.item, update.value))
@@ -403,6 +423,8 @@ class ReplicatedPortal:
                         backup_index: int | None) -> None:
         query.status = TxnStatus.CREATED  # between servers again
         self._retrying[query] = ledger
+        if self._probe is not None:
+            self._probe.failover(self.env.now, query)
         self.env.process(self._failover(query, ledger, backup_index),
                          name=f"failover-{query.txn_id}")
 
@@ -432,6 +454,8 @@ class ReplicatedPortal:
         del self._retrying[query]
         self.routed_counts[index] += 1
         self.fault_counters.increment("query_retries")
+        if self._probe is not None:
+            self._probe.adopt(self.env.now, query, index)
         self.replicas[index].server.adopt_query(query)
         if query.alive:
             self._remember_backup(query, index)
@@ -443,6 +467,8 @@ class ReplicatedPortal:
         query.finish_time = self.env.now
         ledger.on_query_lost_to_crash(query, self.env.now)
         self._observe("query_lost", query)
+        if self._probe is not None:
+            self._probe.lost(self.env.now, query)
 
     # ------------------------------------------------------------------
     # Portal-wide outage (the ``portal_crash`` fault kind)
@@ -461,6 +487,8 @@ class ReplicatedPortal:
         self.incidents.append(incident)
         self._portal_incident = incident
         self.fault_counters.increment("portal_crashes")
+        if self._probe is not None:
+            self._probe.crash(self.env.now, None)
         for handle in self.replicas:
             if handle.up:
                 self.crash_replica(handle.index)  # appends to members
@@ -478,6 +506,8 @@ class ReplicatedPortal:
                 self.recover_replica(handle.index)
         incident.recovered_at = self.env.now
         self.fault_counters.increment("portal_recoveries")
+        if self._probe is not None:
+            self._probe.recover(self.env.now, None, 0)
 
     # ------------------------------------------------------------------
     def finalize(self) -> None:

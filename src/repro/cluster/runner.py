@@ -15,6 +15,7 @@ from repro.sim import Environment
 from repro.sim.invariants import InvariantMonitor
 from repro.sim.process import ProcessGenerator
 from repro.sim.rng import StreamRegistry
+from repro.telemetry.hooks import KernelProbe, TelemetryKnob
 from repro.workload.traces import Trace
 
 from .portal import ReplicatedPortal
@@ -53,6 +54,10 @@ class ClusterResult:
             i.as_dict() for i in portal.incidents]
         #: True when an invariant monitor watched (and passed) this run.
         self.invariants_checked = invariants_checked
+        #: The resolved telemetry session shared by every replica and
+        #: the portal (None when telemetry was off) — its tracer holds
+        #: ``replica0..N/...`` and ``portal/...`` tracks.
+        self.telemetry = portal.telemetry
         #: Final per-replica database digests (key, value, master, #uu)
         #: — what recovery parity is measured against.
         self.state_digests = [r.server.database.state_digest()
@@ -126,6 +131,7 @@ def run_cluster_simulation(n_replicas: int,
                            failover_backoff_ms: float = 50.0,
                            durability: DurabilityConfig | None = None,
                            invariants: bool = False,
+                           telemetry: "TelemetryKnob" = None,
                            ) -> ClusterResult:
     """Replay ``trace`` against ``n_replicas`` servers behind ``router``.
 
@@ -160,7 +166,8 @@ def run_cluster_simulation(n_replicas: int,
                               router=router, server_config=server_config,
                               failover_retries=failover_retries,
                               failover_backoff_ms=failover_backoff_ms,
-                              durability=durability, monitor=monitor)
+                              durability=durability, monitor=monitor,
+                              telemetry=telemetry)
     injector = (FaultInjector(env, fault_plan, portal)
                 if fault_plan is not None else None)
     qc_rng = streams.stream("qc.sampler")
@@ -202,6 +209,8 @@ def run_cluster_simulation(n_replicas: int,
     horizon = trace.duration_ms + max(0.0, drain_ms)
     env.run(until=horizon)
     portal.finalize()
+    if isinstance(env.telemetry, KernelProbe):
+        env.telemetry.flush()
     if monitor is not None:
         monitor.verify_complete(portal.total_gained)
     return ClusterResult(portal, horizon,

@@ -32,6 +32,9 @@ from repro.sim.process import ProcessGenerator
 from repro.sim.invariants import InvariantMonitor
 from repro.sim.monitor import TimeSeries
 from repro.sim.rng import StreamRegistry
+from repro.telemetry.events import CAT_KERNEL
+from repro.telemetry.hooks import TelemetryKnob, TelemetrySession
+from repro.telemetry.tracer import TelemetryConfig
 
 from .admission import AdmissionPolicy
 from .database import Database
@@ -72,6 +75,10 @@ class ServerConfig:
     qod_metric: str = "uu"
     #: Record queue-length samples every this many ms (0 disables).
     queue_sample_every: float = 0.0
+    #: Structured tracing/metrics (:mod:`repro.telemetry`).  ``None`` (the
+    #: default) disables instrumentation entirely — the server then pays
+    #: one pointer comparison per hook and nothing in the kernel loop.
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.class_switch_overhead < 0:
@@ -125,7 +132,9 @@ class DatabaseServer:
                  config: ServerConfig | None = None,
                  admission: "AdmissionPolicy | None" = None,
                  wal: WriteAheadLog | None = None,
-                 monitor: InvariantMonitor | None = None) -> None:
+                 monitor: InvariantMonitor | None = None,
+                 telemetry: TelemetryKnob = None,
+                 telemetry_scope: str = "server") -> None:
         self.env = env
         self.database = database
         self.scheduler = scheduler
@@ -144,6 +153,21 @@ class DatabaseServer:
 
         scheduler.bind(env, streams)
         self.locks = LockManager(scheduler.has_lock_priority)
+
+        #: Telemetry session (explicit ``telemetry=`` wins; otherwise the
+        #: config's knob).  Shared sessions (cluster) pass the session in.
+        session = TelemetrySession.from_knob(telemetry)
+        if session is None:
+            session = TelemetrySession.from_knob(self.config.telemetry)
+        self.telemetry = session
+        self._probe = (session.server_probe(telemetry_scope)
+                       if session is not None else None)
+        scheduler.attach_telemetry(
+            session.scheduler_probe(telemetry_scope)
+            if session is not None else None)
+        if (session is not None and env.telemetry is None
+                and session.tracer.enabled_for(CAT_KERNEL)):
+            env.telemetry = session.kernel_probe()
 
         self._running: Transaction | None = None
         self._last_class: str | None = None
@@ -185,6 +209,8 @@ class DatabaseServer:
         """
         self._check_up()
         self._observe("query_submitted", query)
+        if self._probe is not None:
+            self._probe.arrive(self.env.now, query)
         if self.admission is not None and not self.admission.admit(
                 query, self):
             query.status = TxnStatus.REJECTED
@@ -193,10 +219,14 @@ class DatabaseServer:
                 query, self.env.now,
                 shed=getattr(self.admission, "is_shedding", False))
             self._observe("query_rejected", query)
+            if self._probe is not None:
+                self._probe.reject(self.env.now, query)
             return
         query.status = TxnStatus.QUEUED
         self.ledger.on_query_submitted(query, self.env.now)
         self.scheduler.submit_query(query)
+        if self._probe is not None:
+            self._probe.queued(self.env.now, query)
         self._on_arrival(query)
 
     def adopt_query(self, query: Query) -> None:
@@ -214,12 +244,16 @@ class DatabaseServer:
         query.status = TxnStatus.QUEUED
         self.ledger.counters.increment("queries_adopted")
         self.scheduler.submit_query(query)
+        if self._probe is not None:
+            self._probe.queued(self.env.now, query)
         self._on_arrival(query)
 
     def submit_update(self, update: Update) -> None:
         """A blind update arrives from the external source."""
         self._check_up()
         self._observe("update_submitted", update)
+        if self._probe is not None:
+            self._probe.arrive(self.env.now, update)
         superseded = self.database.register_update(update, self.env.now)
         if superseded is not None:
             self.ledger.on_update_superseded(superseded, self.env.now)
@@ -230,10 +264,14 @@ class DatabaseServer:
                 # entry stranded by an earlier crash already reached its
                 # terminal (lost) state.
                 self._observe("update_superseded", superseded)
+                if self._probe is not None:
+                    self._probe.supersede(self.env.now, superseded, update)
             if superseded is self._running:
                 self._proc.interrupt(_Superseded(superseded))
         update.status = TxnStatus.QUEUED
         self.scheduler.submit_update(update)
+        if self._probe is not None:
+            self._probe.queued(self.env.now, update)
         self._on_arrival(update)
 
     def _on_arrival(self, txn: Transaction) -> None:
@@ -290,6 +328,8 @@ class DatabaseServer:
                 txn.status = TxnStatus.BLOCKED
                 self._blocked[txn] = self.locks.locks_of(txn) or frozenset(
                     txn.touched_items())
+                if self._probe is not None:
+                    self._probe.block(env.now, txn)
                 continue
             for loser in result.restarted:
                 self._handle_restart(loser)
@@ -305,6 +345,7 @@ class DatabaseServer:
         query is being switched in) can interrupt the switch.
         """
         self._running = txn
+        started = self.env.now
         try:
             yield self.env.timeout(self.config.class_switch_overhead)
         except Interrupt:
@@ -317,11 +358,16 @@ class DatabaseServer:
             return True
         finally:
             self._running = None
+            if self._probe is not None:
+                self._probe.overhead(started, self.env.now)
         return False
 
     def _run(self, txn: Transaction) -> ProcessGenerator:
         env = self.env
         txn.status = TxnStatus.RUNNING
+        if self._probe is not None:
+            self._probe.running(env.now, txn,
+                                resumed=txn.start_time is not None)
         if txn.start_time is None:
             txn.start_time = env.now
         self._running = txn
@@ -340,11 +386,15 @@ class DatabaseServer:
                 yield env.timeout(slice_)
             except Interrupt as interrupt:
                 txn.remaining -= env.now - started
+                if self._probe is not None:
+                    self._probe.cpu_slice(started, env.now, txn)
                 action = self._handle_interrupt(txn, interrupt.cause)
                 if action == "continue":
                     continue
                 break
             txn.remaining -= slice_
+            if self._probe is not None:
+                self._probe.cpu_slice(started, env.now, txn)
             if txn.remaining <= _EPS:
                 self._commit(txn)
                 break
@@ -381,6 +431,8 @@ class DatabaseServer:
             # situation may have changed since the interrupt was raised.
             if arrival.alive and self.scheduler.preempts(txn, arrival):
                 txn.preemptions += 1
+                if self._probe is not None:
+                    self._probe.preempt(self.env.now, txn, arrival)
                 if (txn.is_update
                         and self.config.update_preemption == "restart"):
                     self._restart_preempted_update(txn)
@@ -394,6 +446,8 @@ class DatabaseServer:
     def _suspend(self, txn: Transaction) -> None:
         """Take ``txn`` off the CPU; it keeps locks and progress."""
         txn.status = TxnStatus.SUSPENDED
+        if self._probe is not None:
+            self._probe.suspend(self.env.now, txn)
         self.scheduler.requeue(txn)
 
     def _restart_preempted_update(self, update: Transaction) -> None:
@@ -403,6 +457,8 @@ class DatabaseServer:
         self.locks.release_all(update)
         self.ledger.on_restart(victim_is_query=False)
         update.status = TxnStatus.QUEUED
+        if self._probe is not None:
+            self._probe.restart(self.env.now, update)
         self.scheduler.requeue(update)
         self._unblock_waiters()
 
@@ -431,6 +487,8 @@ class DatabaseServer:
                 self.wal.append_applied(update, now)
             self.ledger.on_update_applied(update, now)
             self._observe("update_applied", update)
+        if self._probe is not None:
+            self._probe.commit(now, txn)
         self.locks.release_all(txn)
         self._unblock_waiters()
 
@@ -450,6 +508,8 @@ class DatabaseServer:
         self.ledger.on_query_dropped(query, self.env.now)
         self.scheduler.notify_query_finished(query)
         self._observe("query_dropped", query)
+        if self._probe is not None:
+            self._probe.expire(self.env.now, query)
         self._unblock_waiters()
 
     def _handle_restart(self, loser: Transaction) -> None:
@@ -458,6 +518,8 @@ class DatabaseServer:
         self.ledger.on_restart(loser.is_query)
         self._blocked.pop(loser, None)
         loser.status = TxnStatus.QUEUED
+        if self._probe is not None:
+            self._probe.restart(self.env.now, loser)
         self.scheduler.requeue(loser)
 
     def _unblock_waiters(self) -> None:
@@ -593,6 +655,8 @@ class DatabaseServer:
             if not txn.alive:
                 continue
             txn.status = TxnStatus.UNFINISHED
+            if self._probe is not None:
+                self._probe.unfinished(self.env.now, txn)
             if txn.is_query:
                 self.ledger.on_query_unfinished(typing.cast(Query, txn))
                 self._observe("query_unfinished", txn)

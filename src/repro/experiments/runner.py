@@ -22,6 +22,7 @@ from repro.scheduling.quts import QUTSScheduler
 from repro.sim import Environment
 from repro.sim.process import ProcessGenerator
 from repro.sim.rng import RandomStream, StreamRegistry
+from repro.telemetry.hooks import KernelProbe, TelemetryKnob
 from repro.workload.traces import Trace
 
 #: Anything with ``sample(rng, now) -> QualityContract`` can price queries.
@@ -55,6 +56,7 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
                    staleness_aggregation: StalenessAggregation = "max",
                    invalidation: bool = True,
                    admission: "AdmissionPolicy | None" = None,
+                   telemetry: TelemetryKnob = None,
                    ) -> SimulationResult:
     """Replay ``trace`` under ``scheduler`` and collect all metrics.
 
@@ -63,7 +65,10 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
     for ``drain_ms`` so in-flight work can finish; whatever remains is
     counted as unfinished.  ``invalidation=False`` disables the update
     register table's supersession (ablation only — the paper's model has
-    it on).
+    it on).  ``telemetry`` enables structured tracing (see
+    :mod:`repro.telemetry`); the session comes back on
+    ``result.telemetry`` and the run's numbers are byte-identical with
+    it on or off.
     """
     if qc_source is None:
         qc_source = free_qc_source()
@@ -74,7 +79,9 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
                         invalidation=invalidation)
     ledger = ProfitLedger()
     server = DatabaseServer(env, database, scheduler, ledger, streams,
-                            config=server_config, admission=admission)
+                            config=server_config, admission=admission,
+                            telemetry=telemetry)
+    session = server.telemetry  # resolved knob (explicit or from config)
 
     qc_rng = streams.stream("qc.sampler")
     env.process(_query_source(env, server, trace, qc_source, qc_rng),
@@ -84,6 +91,8 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
     horizon = trace.duration_ms + max(0.0, drain_ms)
     env.run(until=horizon)
     server.finalize()
+    if isinstance(env.telemetry, KernelProbe):
+        env.telemetry.flush()
 
     rho_series = (scheduler.rho_series
                   if isinstance(scheduler, QUTSScheduler) else None)
@@ -100,6 +109,7 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
             "master_seed": master_seed,
             "drain_ms": drain_ms,
         },
+        telemetry=session,
     )
 
 

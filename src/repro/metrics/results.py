@@ -14,6 +14,9 @@ from repro.sim.monitor import TimeSeries
 
 from .profit import ProfitLedger
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.hooks import TelemetrySession
+
 
 class SimulationResult:
     """The outcome of one scheduler × workload simulation."""
@@ -22,7 +25,8 @@ class SimulationResult:
                  ledger: ProfitLedger,
                  rho_series: TimeSeries | None = None,
                  lock_stats: dict[str, int] | None = None,
-                 metadata: dict[str, typing.Any] | None = None) -> None:
+                 metadata: dict[str, typing.Any] | None = None,
+                 telemetry: "TelemetrySession | None" = None) -> None:
         self.scheduler_name = scheduler_name
         #: Simulated duration in milliseconds.
         self.duration = duration
@@ -31,6 +35,9 @@ class SimulationResult:
         self.rho_series = rho_series
         self.lock_stats = lock_stats or {}
         self.metadata = metadata or {}
+        #: The run's :class:`~repro.telemetry.hooks.TelemetrySession`
+        #: (None unless the run was started with ``telemetry=``).
+        self.telemetry = telemetry
 
     def __repr__(self) -> str:
         return (f"<SimulationResult {self.scheduler_name} "

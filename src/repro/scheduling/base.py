@@ -25,6 +25,9 @@ from repro.db.transactions import Query, Transaction, Update
 from repro.sim import Environment, Infinity
 from repro.sim.rng import StreamRegistry
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.telemetry.hooks import SchedulerProbe
+
 
 class Scheduler:
     """Base class; concrete policies override the queue/decision methods."""
@@ -34,6 +37,8 @@ class Scheduler:
 
     def __init__(self) -> None:
         self.env: Environment | None = None
+        #: Telemetry probe (None keeps every hook a single comparison).
+        self.probe: "SchedulerProbe | None" = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -41,6 +46,17 @@ class Scheduler:
     def bind(self, env: Environment, streams: StreamRegistry) -> None:
         """Attach the simulation environment before the run starts."""
         self.env = env
+
+    def attach_telemetry(self, probe: "SchedulerProbe | None") -> None:
+        """Attach a telemetry probe (the server does this at startup)."""
+        self.probe = probe
+
+    def _trace_depths(self) -> None:
+        """Emit queue-depth counter samples (callers guard ``probe``)."""
+        probe = self.probe
+        if probe is not None and self.env is not None:
+            probe.queue_depths(self.env.now, self.pending_queries(),
+                               self.pending_updates())
 
     # ------------------------------------------------------------------
     # Queue management

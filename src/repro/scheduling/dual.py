@@ -55,18 +55,24 @@ class DualQueueScheduler(Scheduler):
     # ------------------------------------------------------------------
     def submit_query(self, query: Query) -> None:
         self._queries.push(query)
+        if self.probe is not None:
+            self._trace_depths()
 
     def submit_update(self, update: Update) -> None:
         self._updates.push(update)
+        if self.probe is not None:
+            self._trace_depths()
 
     def next_transaction(self, now: float) -> Transaction | None:
         first, second = ((self._updates, self._queries)
                          if self.high == "update"
                          else (self._queries, self._updates))
         txn = first.pop()
-        if txn is not None:
-            return txn
-        return second.pop()
+        if txn is None:
+            txn = second.pop()
+        if txn is not None and self.probe is not None:
+            self._trace_depths()
+        return txn
 
     def preempts(self, running: Transaction, arrival: Transaction) -> bool:
         """A high-class arrival kicks a low-class transaction off the CPU."""

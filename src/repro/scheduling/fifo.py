@@ -27,12 +27,19 @@ class FIFOScheduler(Scheduler):
 
     def submit_query(self, query: Query) -> None:
         self._queue.push(query)
+        if self.probe is not None:
+            self._trace_depths()
 
     def submit_update(self, update: Update) -> None:
         self._queue.push(update)
+        if self.probe is not None:
+            self._trace_depths()
 
     def next_transaction(self, now: float) -> Transaction | None:
-        return self._queue.pop()
+        txn = self._queue.pop()
+        if txn is not None and self.probe is not None:
+            self._trace_depths()
+        return txn
 
     # Non-preemptive: `preempts` stays False, `quantum` stays infinite.
 

@@ -139,10 +139,14 @@ class QUTSScheduler(Scheduler):
         if qos_max <= 0.0 and qod_max <= 0.0:
             # Nothing submitted last period: keep ρ (no information).
             self.rho_series.record(now, self.rho)
+            if self.probe is not None:
+                self.probe.rho_update(now, self.rho, qos_max, qod_max)
             return
         rho_new = optimal_rho(qos_max, qod_max)
         self.rho = (1.0 - self.alpha) * self.rho + self.alpha * rho_new
         self.rho_series.record(now, self.rho)
+        if self.probe is not None:
+            self.probe.rho_update(now, self.rho, qos_max, qod_max)
 
     # ------------------------------------------------------------------
     # Queue management
@@ -152,9 +156,13 @@ class QUTSScheduler(Scheduler):
         self._period_qos_max += query.qc.qos_max
         self._period_qod_max += query.qc.qod_max
         self._queries.push(query)
+        if self.probe is not None:
+            self._trace_depths()
 
     def submit_update(self, update: Update) -> None:
         self._updates.push(update)
+        if self.probe is not None:
+            self._trace_depths()
 
     def requeue(self, txn: Transaction) -> None:
         """Preempted/restarted work re-enters its queue *without* being
@@ -163,6 +171,8 @@ class QUTSScheduler(Scheduler):
             self._queries.push(txn)
         else:
             self._updates.push(txn)
+        if self.probe is not None:
+            self._trace_depths()
 
     # ------------------------------------------------------------------
     # High-level decision: who owns the CPU now?
@@ -176,6 +186,8 @@ class QUTSScheduler(Scheduler):
                          else (self._updates, self._queries))
         txn = chosen.pop()
         if txn is not None:
+            if self.probe is not None:
+                self._trace_depths()
             return txn
 
         # "A state change may happen ... if the picked queue is empty at any
@@ -184,16 +196,23 @@ class QUTSScheduler(Scheduler):
         if txn is not None:
             self._switch_state("update" if self._state == "query"
                                else "query", now)
+            if self.probe is not None:
+                self._trace_depths()
         return txn
 
     def _draw_state(self, now: float) -> None:
         assert self._rng is not None, "bind() must be called before running"
         xi = self._rng.random()
-        self._switch_state("query" if xi < self.rho else "update", now)
+        state = "query" if xi < self.rho else "update"
+        if self.probe is not None:
+            self.probe.quantum_draw(now, xi, state)
+        self._switch_state(state, now)
 
     def _switch_state(self, state: str, now: float) -> None:
         if state != self._state:
             self.state_changes += 1
+            if self.probe is not None:
+                self.probe.queue_switch(now, state)
         self._state = state
         self._state_until = now + self.tau
 

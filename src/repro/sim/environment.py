@@ -18,6 +18,18 @@ from .process import Event_NORMAL, Process, ProcessGenerator
 Infinity = float("inf")
 
 
+class EventObserver(typing.Protocol):
+    """What :attr:`Environment.telemetry` must provide.
+
+    Structural so the kernel stays import-free of
+    :mod:`repro.telemetry` (which imports the kernel); the concrete
+    implementation is ``repro.telemetry.hooks.KernelProbe``.
+    """
+
+    def on_event(self, event: Event) -> None:
+        ...  # pragma: no cover - protocol
+
+
 class Environment:
     """A single-clock discrete-event simulation environment.
 
@@ -38,6 +50,11 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Process | None = None
+        #: Optional kernel telemetry observer.  ``None`` (the default)
+        #: keeps :meth:`run` on the uninstrumented inlined loop — the
+        #: disabled path costs one comparison per ``run()`` call, not
+        #: per event.
+        self.telemetry: EventObserver | None = None
 
     def __repr__(self) -> str:
         return f"<Environment t={self._now} queued={len(self._queue)}>"
@@ -139,18 +156,33 @@ class Environment:
 
         # The event loop below is `step()` inlined: one method call, one
         # try/except, and one attribute lookup per event add up over the
-        # millions of events a full-scale run processes.
+        # millions of events a full-scale run processes.  The telemetry
+        # variant is a separate loop so the disabled path pays nothing
+        # per event — the observer check happens once, here.
         queue = self._queue
+        observer = self.telemetry
         try:
-            while queue:
-                self._now, _, _, event = heappop(queue)
-                callbacks = event.callbacks
-                event.callbacks = None  # mark processed
-                for callback in callbacks:  # type: ignore[union-attr]
-                    callback(event)
-                if not event._ok and not event._defused:
-                    # An unhandled failure: abort the simulation loudly.
-                    raise typing.cast(BaseException, event._value)
+            if observer is not None:
+                while queue:
+                    self._now, _, _, event = heappop(queue)
+                    observer.on_event(event)
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    for callback in callbacks:  # type: ignore[union-attr]
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise typing.cast(BaseException, event._value)
+            else:
+                while queue:
+                    self._now, _, _, event = heappop(queue)
+                    callbacks = event.callbacks
+                    event.callbacks = None  # mark processed
+                    for callback in callbacks:  # type: ignore[union-attr]
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        # An unhandled failure: abort the simulation
+                        # loudly.
+                        raise typing.cast(BaseException, event._value)
         except StopSimulation as stop:
             return stop.value
 

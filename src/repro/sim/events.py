@@ -225,6 +225,16 @@ class Condition(Event):
             self.succeed(self._collect_values())
 
 
+def event_kind(event: Event) -> str:
+    """Short lowercase kind tag for telemetry ("timeout", "process", ...).
+
+    Derived from the class name so the kernel's event observer needs no
+    import of every Event subclass (``Process`` lives in
+    :mod:`repro.sim.process`, which imports this module).
+    """
+    return type(event).__name__.lower()
+
+
 def all_of(env: "Environment", events: typing.Iterable[Event]) -> Condition:
     """Condition that triggers once *all* of ``events`` have succeeded."""
     return Condition(env, lambda evs, count: count >= len(evs), events)

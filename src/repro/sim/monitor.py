@@ -54,15 +54,63 @@ class Tally:
     def stdev(self) -> float:
         return math.sqrt(self.variance)
 
+    def merge(self, other: "Tally") -> "Tally":
+        """Fold ``other`` into this tally (Chan et al. parallel Welford).
+
+        The result is identical (up to float association) to observing
+        both sample streams into one tally — what the parallel sweep
+        engine needs to combine per-worker statistics.  Returns ``self``
+        for chaining.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.total = other.total
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        combined = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += (other._m2
+                     + delta * delta * self.count * other.count / combined)
+        self._mean += delta * other.count / combined
+        self.count = combined
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        return self
+
 
 class TimeSeries:
     """An explicit (time, value) series — e.g. Figure 9d's ρ
-    trajectory."""
+    trajectory.
 
-    def __init__(self, name: str = "") -> None:
+    With ``max_points`` set the series is *bounded*: once full it
+    decimates itself to every other retained point and doubles its
+    sampling stride, so arbitrarily long runs keep a fixed-interval
+    downsampled view in O(max_points) memory instead of growing without
+    bound.  ``offered`` counts every sample handed to :meth:`record`,
+    retained or not.
+    """
+
+    def __init__(self, name: str = "", *,
+                 max_points: int | None = None) -> None:
+        if max_points is not None and max_points < 2:
+            raise ValueError(f"max_points must be >= 2, got {max_points}")
         self.name = name
         self.times: list[float] = []
         self.values: list[float] = []
+        #: Bound on retained points (None: unbounded, the default).
+        self.max_points = max_points
+        #: Samples offered via :meth:`record` (>= retained length).
+        self.offered = 0
+        #: Current decimation stride: every ``stride``-th offer is kept.
+        self.stride = 1
 
     def __len__(self) -> int:
         return len(self.times)
@@ -74,11 +122,50 @@ class TimeSeries:
         if self.times and time < self.times[-1]:
             raise ValueError(
                 f"time {time} precedes last recorded time {self.times[-1]}")
+        offer = self.offered
+        self.offered = offer + 1
+        if self.max_points is not None:
+            if offer % self.stride:
+                return
+            if len(self.times) >= self.max_points:
+                # Decimate: keep even positions (offers at multiples of
+                # the doubled stride) and halve the retained length.
+                del self.times[1::2]
+                del self.values[1::2]
+                self.stride *= 2
+                if offer % self.stride:
+                    return  # the current offer is off the new grid
         self.times.append(time)
         self.values.append(value)
 
     def items(self) -> typing.Iterator[tuple[float, float]]:
         return zip(self.times, self.values)
+
+    def time_weighted_mean(self, until: float | None = None) -> float:
+        """Mean of the piecewise-constant signal the samples describe.
+
+        Each value holds from its sample time to the next sample (or to
+        ``until`` for the last one).  Zero-duration intervals —
+        back-to-back samples at the same simulated timestamp, which the
+        server produces whenever several lifecycle events share one
+        event-loop instant — contribute no weight, and a series whose
+        whole span is zero falls back to the plain mean of its values
+        instead of dividing by zero.
+        """
+        if not self.times:
+            return 0.0
+        stop = self.times[-1] if until is None else until
+        if stop < self.times[-1]:
+            raise ValueError(
+                f"until={stop} precedes last sample {self.times[-1]}")
+        area = 0.0
+        for i in range(len(self.times) - 1):
+            area += self.values[i] * (self.times[i + 1] - self.times[i])
+        area += self.values[-1] * (stop - self.times[-1])
+        span = stop - self.times[0]
+        if span <= 0:
+            return sum(self.values) / len(self.values)
+        return area / span
 
     def moving_window_average(self, window: float) -> "TimeSeries":
         """Centred moving-window average over simulated time.

@@ -1,0 +1,73 @@
+"""``repro.telemetry`` — structured tracing and metrics for the simulator.
+
+The observability layer the QUTS experiments debug against: typed trace
+records stamped with simulated time, a bounded-memory tracer, a
+hierarchical metrics registry, and exporters for Chrome
+``trace_event`` JSON (``chrome://tracing`` / Perfetto), CSV time
+series, and a terminal summary.
+
+Quickstart::
+
+    from repro.experiments.runner import run_simulation
+    from repro.scheduling import QUTSScheduler
+    from repro.telemetry import TelemetryConfig, write_chrome_trace
+
+    result = run_simulation(QUTSScheduler(), trace, factory,
+                            telemetry=TelemetryConfig())
+    session = result.telemetry
+    write_chrome_trace(session.tracer, "trace.json")
+
+or, from the command line::
+
+    repro trace figures --fig 5 --out trace.json
+
+Everything here is a pure observer: no randomness, no event-loop
+perturbation, no host-clock reads — results are byte-identical with
+telemetry on or off, and a run without it never touches this package.
+"""
+
+from __future__ import annotations
+
+from . import events
+from .events import (CAT_CLUSTER, CAT_KERNEL, CAT_SCHED, CAT_TXN,
+                     CATEGORIES, CounterRecord, InstantRecord, SpanRecord,
+                     TraceRecord, TXN_ARRIVE, TXN_TERMINALS)
+from .export import (chrome_trace_events, series_rows, summary_report,
+                     to_chrome_trace, write_chrome_trace, write_series_csv)
+from .hooks import (ClusterProbe, KernelProbe, SchedulerProbe, ServerProbe,
+                    TelemetryKnob, TelemetrySession)
+from .registry import Histogram, MetricsRegistry, ScopedRegistry
+from .tracer import DEFAULT_BUFFER_SIZE, TelemetryConfig, Tracer
+
+__all__ = [
+    "CATEGORIES",
+    "CAT_CLUSTER",
+    "CAT_KERNEL",
+    "CAT_SCHED",
+    "CAT_TXN",
+    "ClusterProbe",
+    "CounterRecord",
+    "DEFAULT_BUFFER_SIZE",
+    "Histogram",
+    "InstantRecord",
+    "KernelProbe",
+    "MetricsRegistry",
+    "SchedulerProbe",
+    "ScopedRegistry",
+    "ServerProbe",
+    "SpanRecord",
+    "TXN_ARRIVE",
+    "TXN_TERMINALS",
+    "TelemetryConfig",
+    "TelemetryKnob",
+    "TelemetrySession",
+    "TraceRecord",
+    "Tracer",
+    "chrome_trace_events",
+    "events",
+    "series_rows",
+    "summary_report",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_series_csv",
+]

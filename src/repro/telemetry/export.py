@@ -1,0 +1,186 @@
+"""Exporters: Chrome ``trace_event`` JSON, CSV series, terminal summary.
+
+The Chrome exporter emits the stable subset of the `trace_event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+that both ``chrome://tracing`` and Perfetto load:
+
+* ``"X"`` complete events for spans (CPU slices, switch overhead);
+* ``"i"`` instant events for lifecycle / scheduler / cluster marks;
+* ``"C"`` counter events for ρ and queue depths;
+* ``"M"`` metadata events naming processes and threads.
+
+Tracks map onto the viewer's process/thread tree: a record's
+``"scope/lane"`` track becomes process ``scope`` (one per server /
+replica / portal) and thread ``lane`` (cpu, lifecycle, sched, queues),
+so each queue and each replica gets its own named row.  Timestamps are
+simulated milliseconds; Chrome wants microseconds, so values are scaled
+by 1000 on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+from .events import CounterRecord, InstantRecord, SpanRecord
+from .registry import MetricsRegistry
+from .tracer import Tracer
+
+#: Chrome trace timestamps are microseconds; the simulator's are ms.
+_US_PER_MS = 1000.0
+
+
+def _split_track(track: str) -> tuple[str, str]:
+    scope, _, lane = track.partition("/")
+    return scope, lane or "main"
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict[str, typing.Any]]:
+    """The ``traceEvents`` array for the tracer's retained records."""
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    events: list[dict[str, typing.Any]] = []
+    records = tracer.records()
+
+    # Stable process/thread ids: sorted track names, not arrival order,
+    # so the export is deterministic for a given set of tracks.
+    for scope, lane in sorted({_split_track(r.track) for r in records}):
+        if scope not in pids:
+            pids[scope] = len(pids) + 1
+            events.append({"ph": "M", "pid": pids[scope], "tid": 0,
+                           "name": "process_name",
+                           "args": {"name": scope}})
+        key = (scope, lane)
+        tids[key] = tids.get(key, len(tids) + 1)
+        events.append({"ph": "M", "pid": pids[scope], "tid": tids[key],
+                       "name": "thread_name", "args": {"name": lane}})
+
+    for record in records:
+        scope, lane = _split_track(record.track)
+        base: dict[str, typing.Any] = {
+            "pid": pids[scope],
+            "tid": tids[(scope, lane)],
+            "ts": record.ts * _US_PER_MS,
+            "cat": record.category,
+            "name": record.name,
+        }
+        if isinstance(record, SpanRecord):
+            base["ph"] = "X"
+            base["dur"] = record.dur * _US_PER_MS
+            if record.args:
+                base["args"] = record.args
+        elif isinstance(record, CounterRecord):
+            base["ph"] = "C"
+            base["args"] = {"value": record.value}
+        elif isinstance(record, InstantRecord):
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+            args = dict(record.args) if record.args else {}
+            if record.txn_id >= 0:
+                args.setdefault("txn", record.txn_id)
+            if args:
+                base["args"] = args
+        else:  # pragma: no cover - defensive
+            continue
+        events.append(base)
+    return events
+
+
+def to_chrome_trace(tracer: Tracer,
+                    metadata: dict[str, typing.Any] | None = None,
+                    ) -> dict[str, typing.Any]:
+    """The complete JSON-object-format payload Perfetto loads."""
+    other: dict[str, typing.Any] = {
+        "recorded": len(tracer),
+        "emitted": tracer.emitted,
+        "dropped": tracer.dropped,
+        "clock": "simulated-ms",
+    }
+    if metadata:
+        other.update(metadata)
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str | pathlib.Path,
+                       metadata: dict[str, typing.Any] | None = None,
+                       ) -> pathlib.Path:
+    """Write the Chrome-trace JSON file; returns the path written."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = to_chrome_trace(tracer, metadata)
+    target.write_text(json.dumps(payload) + "\n")
+    return target
+
+
+# ----------------------------------------------------------------------
+# CSV time series
+# ----------------------------------------------------------------------
+def series_rows(registry: MetricsRegistry,
+                ) -> list[dict[str, typing.Any]]:
+    """Every registry gauge flattened to (series, t_ms, value) rows."""
+    rows: list[dict[str, typing.Any]] = []
+    for name, series in registry.gauges().items():
+        for t, v in series.items():
+            rows.append({"series": name, "t_ms": t, "value": v})
+    return rows
+
+
+def write_series_csv(registry: MetricsRegistry,
+                     path: str | pathlib.Path) -> pathlib.Path:
+    """Long-format CSV of every gauge (one row per retained sample)."""
+    from repro.experiments.report import save_csv
+
+    target = pathlib.Path(path)
+    save_csv(series_rows(registry), target,
+             columns=("series", "t_ms", "value"))
+    return target
+
+
+# ----------------------------------------------------------------------
+# Terminal summary
+# ----------------------------------------------------------------------
+def summary_report(tracer: Tracer,
+                   registry: MetricsRegistry | None = None) -> str:
+    """A human-readable digest: event counts, span time, drop stats."""
+    lines = ["telemetry summary", "================="]
+    lines.append(f"records retained : {len(tracer)} "
+                 f"(emitted {tracer.emitted}, dropped {tracer.dropped})")
+    by_key: dict[tuple[str, str], int] = {}
+    span_ms: dict[str, float] = {}
+    for record in tracer.records():
+        key = (record.category, record.name)
+        by_key[key] = by_key.get(key, 0) + 1
+        if isinstance(record, SpanRecord):
+            span_ms[record.name] = span_ms.get(record.name, 0.0) + record.dur
+    if by_key:
+        lines.append("")
+        lines.append("events by category/name:")
+        for (category, name), count in sorted(by_key.items()):
+            lines.append(f"  {category:>8}:{name:<16} {count}")
+    if span_ms:
+        lines.append("")
+        lines.append("busy time by span name (simulated ms):")
+        for name, total in sorted(span_ms.items()):
+            lines.append(f"  {name:<16} {total:.3f}")
+    if registry is not None:
+        counters = registry.counter_values()
+        if counters:
+            lines.append("")
+            lines.append("registry counters:")
+            for name, value in counters.items():
+                lines.append(f"  {name:<40} {value}")
+        gauges = registry.gauges()
+        if gauges:
+            lines.append("")
+            lines.append("registry gauges (bounded series):")
+            for name, series in gauges.items():
+                mean = series.time_weighted_mean()
+                lines.append(f"  {name:<40} n={len(series)} "
+                             f"(offered {series.offered}) "
+                             f"tw-mean={mean:.4g}")
+    return "\n".join(lines)

@@ -1,0 +1,303 @@
+"""Instrumentation points: probes the simulator's layers call into.
+
+A :class:`TelemetrySession` bundles one :class:`~.tracer.Tracer` and one
+:class:`~.registry.MetricsRegistry` for a run, and hands out *probes* —
+small ``__slots__`` objects bound to a scope (``"server"``,
+``"replica0"``, ``"portal"``, ``"kernel"``) that translate simulator
+happenings into trace records and registry updates.
+
+The calling convention everywhere is::
+
+    if self._probe is not None:
+        self._probe.commit(now, txn)
+
+so a run without telemetry pays exactly one pointer comparison per
+instrumentation point (and none at all in the kernel event loop, which
+switches to the instrumented variant only when a probe is attached).
+Probes never mutate simulator state and never consume randomness:
+results are byte-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, event_kind
+
+from . import events as ev
+from .registry import MetricsRegistry, ScopedRegistry
+from .tracer import TelemetryConfig, Tracer
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.transactions import Query, Transaction
+
+
+class TelemetrySession:
+    """One run's telemetry: the tracer, the registry, and probe factory."""
+
+    __slots__ = ("config", "tracer", "registry")
+
+    def __init__(self, config: TelemetryConfig | None = None) -> None:
+        self.config = config or TelemetryConfig()
+        tracer = Tracer.from_config(self.config)
+        if tracer is None:
+            raise ValueError(
+                "TelemetrySession requires an enabled TelemetryConfig; "
+                "pass telemetry=None to run without instrumentation")
+        self.tracer = tracer
+        self.registry = MetricsRegistry()
+
+    @classmethod
+    def from_knob(cls, telemetry: "TelemetryKnob",
+                  ) -> "TelemetrySession | None":
+        """Coerce the user-facing ``telemetry=`` knob into a session.
+
+        Accepts ``None``/``False`` (off), ``True`` (defaults), a
+        :class:`TelemetryConfig`, or an existing session (shared across
+        replicas / reused by the caller).
+        """
+        if telemetry is None or telemetry is False:
+            return None
+        if telemetry is True:
+            return cls(TelemetryConfig())
+        if isinstance(telemetry, TelemetryConfig):
+            return cls(telemetry) if telemetry.enabled else None
+        if isinstance(telemetry, TelemetrySession):
+            return telemetry
+        raise TypeError(
+            f"telemetry must be None, bool, TelemetryConfig, or "
+            f"TelemetrySession, got {telemetry!r}")
+
+    def __repr__(self) -> str:
+        return f"<TelemetrySession {self.tracer!r}>"
+
+    # ------------------------------------------------------------------
+    # Probe factory
+    # ------------------------------------------------------------------
+    def server_probe(self, scope: str = "server") -> "ServerProbe":
+        return ServerProbe(self.tracer, self.registry.scoped(scope), scope)
+
+    def scheduler_probe(self, scope: str = "server") -> "SchedulerProbe":
+        return SchedulerProbe(self.tracer, self.registry.scoped(scope),
+                              scope)
+
+    def cluster_probe(self, scope: str = "portal") -> "ClusterProbe":
+        return ClusterProbe(self.tracer, self.registry.scoped(scope),
+                            scope)
+
+    def kernel_probe(self, scope: str = "kernel") -> "KernelProbe":
+        return KernelProbe(self.registry.scoped(scope))
+
+
+#: What the ``telemetry=`` keyword accepts throughout the stack.
+TelemetryKnob = typing.Union[None, bool, TelemetryConfig, TelemetrySession]
+
+
+def _txn_kind(txn: "Transaction") -> str:
+    return "query" if txn.is_query else "update"
+
+
+class ServerProbe:
+    """Transaction lifecycle + CPU occupancy for one database server."""
+
+    __slots__ = ("tracer", "metrics", "scope", "_lifecycle", "_cpu")
+
+    def __init__(self, tracer: Tracer, metrics: ScopedRegistry,
+                 scope: str) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.scope = scope
+        self._lifecycle = f"{scope}/lifecycle"
+        self._cpu = f"{scope}/cpu"
+
+    # -- lifecycle instants --------------------------------------------
+    def _mark(self, now: float, name: str, txn: "Transaction",
+              args: dict[str, typing.Any] | None = None) -> None:
+        self.tracer.instant(now, ev.CAT_TXN, name, self._lifecycle,
+                            txn.txn_id, args)
+        self.metrics.counter(f"txn/{name}").increment()
+
+    def arrive(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.TXN_ARRIVE, txn,
+                   {"kind": _txn_kind(txn), "exec_ms": txn.exec_time})
+
+    def queued(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.TXN_QUEUE, txn)
+
+    def reject(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.TXN_REJECT, txn)
+
+    def running(self, now: float, txn: "Transaction",
+                resumed: bool) -> None:
+        self._mark(now, ev.TXN_RESUME if resumed else ev.TXN_START, txn)
+
+    def preempt(self, now: float, txn: "Transaction",
+                by: "Transaction") -> None:
+        self._mark(now, ev.TXN_PREEMPT, txn, {"by": by.txn_id})
+        self.tracer.instant(now, ev.CAT_SCHED, ev.SCHED_PREEMPTION,
+                            f"{self.scope}/sched", txn.txn_id,
+                            {"by": by.txn_id})
+
+    def suspend(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.TXN_SUSPEND, txn)
+
+    def block(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.TXN_BLOCK, txn)
+
+    def restart(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.TXN_RESTART, txn)
+
+    def commit(self, now: float, txn: "Transaction") -> None:
+        args: dict[str, typing.Any] = {"kind": _txn_kind(txn)}
+        if txn.is_query:
+            query = typing.cast("Query", txn)
+            response = query.response_time()
+            args["rt_ms"] = response
+            args["staleness"] = query.staleness
+            args["profit"] = query.total_profit
+            self.metrics.histogram("txn/response_time_ms").observe(response)
+            if query.staleness is not None:
+                self.metrics.histogram("txn/staleness").observe(
+                    query.staleness)
+        self._mark(now, ev.TXN_COMMIT, txn, args)
+
+    def expire(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.TXN_EXPIRE, txn)
+
+    def supersede(self, now: float, txn: "Transaction",
+                  by: "Transaction") -> None:
+        self._mark(now, ev.TXN_SUPERSEDE, txn, {"by": by.txn_id})
+
+    def unfinished(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.TXN_UNFINISHED, txn)
+
+    # -- CPU occupancy spans -------------------------------------------
+    def cpu_slice(self, start: float, end: float,
+                  txn: "Transaction") -> None:
+        if end <= start:
+            return  # zero-length slice (e.g. interrupted at dispatch)
+        self.tracer.span(start, end - start, ev.CAT_TXN, _txn_kind(txn),
+                         self._cpu, txn.txn_id, {"id": txn.txn_id})
+        self.metrics.histogram("cpu/slice_ms").observe(end - start)
+
+    def overhead(self, start: float, end: float) -> None:
+        if end <= start:
+            return
+        self.tracer.span(start, end - start, ev.CAT_SCHED, "class_switch",
+                         self._cpu)
+        self.metrics.counter("cpu/class_switches").increment()
+
+
+class SchedulerProbe:
+    """Scheduler internals: slot draws, ρ updates, queue depths."""
+
+    __slots__ = ("tracer", "metrics", "scope", "_sched", "_queues")
+
+    def __init__(self, tracer: Tracer, metrics: ScopedRegistry,
+                 scope: str) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.scope = scope
+        self._sched = f"{scope}/sched"
+        self._queues = f"{scope}/queues"
+
+    def quantum_draw(self, now: float, xi: float, state: str) -> None:
+        self.tracer.instant(now, ev.CAT_SCHED, ev.SCHED_QUANTUM_DRAW,
+                            self._sched, -1, {"xi": xi, "state": state})
+        self.metrics.counter("sched/quantum_draws").increment()
+
+    def queue_switch(self, now: float, state: str) -> None:
+        self.tracer.instant(now, ev.CAT_SCHED, ev.SCHED_QUEUE_SWITCH,
+                            self._sched, -1, {"state": state})
+        self.metrics.counter("sched/queue_switches").increment()
+
+    def rho_update(self, now: float, rho: float, qos_max: float,
+                   qod_max: float) -> None:
+        self.tracer.instant(now, ev.CAT_SCHED, ev.SCHED_RHO_UPDATE,
+                            self._sched, -1,
+                            {"rho": rho, "qos_max": qos_max,
+                             "qod_max": qod_max})
+        self.tracer.counter(now, ev.CAT_SCHED, "rho", self._sched, rho)
+        self.metrics.gauge("sched/rho").record(now, rho)
+
+    def queue_depths(self, now: float, queries: int,
+                     updates: int) -> None:
+        tracer = self.tracer
+        tracer.counter(now, ev.CAT_SCHED, "queue_depth_queries",
+                       self._queues, queries)
+        tracer.counter(now, ev.CAT_SCHED, "queue_depth_updates",
+                       self._queues, updates)
+        self.metrics.gauge("sched/queue_depth_queries").record(now, queries)
+        self.metrics.gauge("sched/queue_depth_updates").record(now, updates)
+
+
+class ClusterProbe:
+    """Portal-level incidents: crashes, recoveries, failover, replay."""
+
+    __slots__ = ("tracer", "metrics", "scope", "_track")
+
+    def __init__(self, tracer: Tracer, metrics: ScopedRegistry,
+                 scope: str) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.scope = scope
+        self._track = f"{scope}/cluster"
+
+    def _mark(self, now: float, name: str, txn_id: int = -1,
+              args: dict[str, typing.Any] | None = None) -> None:
+        self.tracer.instant(now, ev.CAT_CLUSTER, name, self._track,
+                            txn_id, args)
+        self.metrics.counter(f"cluster/{name}").increment()
+
+    def crash(self, now: float, replica: int | None) -> None:
+        self._mark(now, ev.CLUSTER_CRASH, -1, {"replica": replica})
+
+    def recover(self, now: float, replica: int | None,
+                resynced: int) -> None:
+        self._mark(now, ev.CLUSTER_RECOVER, -1,
+                   {"replica": replica, "resynced": resynced})
+
+    def failover(self, now: float, txn: "Transaction") -> None:
+        self._mark(now, ev.CLUSTER_FAILOVER, txn.txn_id)
+
+    def adopt(self, now: float, txn: "Transaction", replica: int) -> None:
+        self._mark(now, ev.CLUSTER_ADOPT, txn.txn_id,
+                   {"replica": replica})
+
+    def lost(self, now: float, txn: "Transaction") -> None:
+        """A transaction died with a crash (the ``lost`` txn terminal
+        lives on the cluster track: no single server owns it)."""
+        self.tracer.instant(now, ev.CAT_TXN, ev.TXN_LOST, self._track,
+                            txn.txn_id, {"kind": _txn_kind(txn)})
+        self.metrics.counter(f"txn/{ev.TXN_LOST}").increment()
+
+    def replay(self, now: float, replica: int, records: int) -> None:
+        self._mark(now, ev.CLUSTER_REPLAY, -1,
+                   {"replica": replica, "records": records})
+
+    def checkpoint(self, now: float, replica: int) -> None:
+        self._mark(now, ev.CLUSTER_CHECKPOINT, -1, {"replica": replica})
+
+
+class KernelProbe:
+    """Per-kind event counts from the instrumented kernel loop.
+
+    The loop calls :meth:`on_event` once per processed event; counts
+    live in a plain dict (the cheapest thing that works at the loop's
+    rate) and are folded into the registry by :meth:`flush` after the
+    run.  Satisfies :class:`repro.sim.environment.EventObserver`.
+    """
+
+    __slots__ = ("metrics", "counts")
+
+    def __init__(self, metrics: ScopedRegistry) -> None:
+        self.metrics = metrics
+        self.counts: dict[str, int] = {}
+
+    def on_event(self, event: Event) -> None:
+        kind = event_kind(event)
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    def flush(self) -> None:
+        for kind, count in sorted(self.counts.items()):
+            self.metrics.counter(f"events_{kind}").increment(count)

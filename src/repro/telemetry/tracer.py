@@ -1,0 +1,152 @@
+"""The tracer: a bounded ring buffer of typed trace records.
+
+Design constraints, in priority order:
+
+1. **Determinism** — the tracer is a pure observer.  It never draws
+   randomness, never schedules events, and stamps records with simulated
+   time handed in by the caller; simulation results are byte-identical
+   with tracing enabled or disabled.
+2. **Zero overhead when off** — instrumentation points hold a
+   ``Tracer | None`` and guard with ``if tracer is not None``; a
+   disabled run never constructs a tracer, so the hot paths pay one
+   pointer comparison at most (and the kernel loop pays nothing at all —
+   see :meth:`repro.sim.environment.Environment.run`).
+3. **Bounded memory when on** — records land in a ring buffer of
+   ``buffer_size`` slots; once full, the oldest records are overwritten
+   and counted in :attr:`Tracer.dropped` (the summary report surfaces
+   the loss instead of silently truncating).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .events import (CATEGORIES, CounterRecord, InstantRecord, SpanRecord,
+                     TraceRecord)
+
+#: Default ring capacity: ~1M records covers a standard-scale run with
+#: every category on, at roughly 100 bytes/record of retained memory.
+DEFAULT_BUFFER_SIZE = 1_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryConfig:
+    """The ``telemetry=`` knob on server / experiment configs.
+
+    A plain, picklable value object so parallel sweep tasks can carry it
+    to worker processes.  ``categories`` is the per-category enable set;
+    the default traces everything.
+    """
+
+    enabled: bool = True
+    categories: tuple[str, ...] = tuple(sorted(CATEGORIES))
+    buffer_size: int = DEFAULT_BUFFER_SIZE
+
+    def __post_init__(self) -> None:
+        if self.buffer_size <= 0:
+            raise ValueError(
+                f"buffer_size must be positive, got {self.buffer_size}")
+        unknown = set(self.categories) - CATEGORIES
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry categories {sorted(unknown)}; "
+                f"choose from {sorted(CATEGORIES)}")
+
+
+class Tracer:
+    """Ring-buffered trace sink with per-category enable flags."""
+
+    __slots__ = ("categories", "capacity", "dropped", "emitted",
+                 "_buffer", "_head")
+
+    def __init__(self, categories: typing.Iterable[str] | None = None,
+                 buffer_size: int = DEFAULT_BUFFER_SIZE) -> None:
+        if buffer_size <= 0:
+            raise ValueError(
+                f"buffer_size must be positive, got {buffer_size}")
+        chosen = CATEGORIES if categories is None else frozenset(categories)
+        unknown = chosen - CATEGORIES
+        if unknown:
+            raise ValueError(
+                f"unknown telemetry categories {sorted(unknown)}; "
+                f"choose from {sorted(CATEGORIES)}")
+        #: Enabled categories; emits outside this set are dropped early.
+        self.categories = chosen
+        self.capacity = buffer_size
+        #: Records overwritten by ring wrap-around (oldest-first loss).
+        self.dropped = 0
+        #: Records accepted (retained + dropped).
+        self.emitted = 0
+        self._buffer: list[TraceRecord] = []
+        self._head = 0  # next write position once the ring is full
+
+    @classmethod
+    def from_config(cls, config: TelemetryConfig | None) -> "Tracer | None":
+        """A tracer per ``config`` — or None for off (the no-op path)."""
+        if config is None or not config.enabled:
+            return None
+        return cls(categories=config.categories,
+                   buffer_size=config.buffer_size)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return (f"<Tracer n={len(self._buffer)}/{self.capacity} "
+                f"dropped={self.dropped} "
+                f"categories={sorted(self.categories)}>")
+
+    def enabled_for(self, category: str) -> bool:
+        return category in self.categories
+
+    # ------------------------------------------------------------------
+    # Emission (hot when tracing is on; callers guard the None case)
+    # ------------------------------------------------------------------
+    def _push(self, record: TraceRecord) -> None:
+        self.emitted += 1
+        buffer = self._buffer
+        if len(buffer) < self.capacity:
+            buffer.append(record)
+            return
+        buffer[self._head] = record
+        self._head = (self._head + 1) % self.capacity
+        self.dropped += 1
+
+    def instant(self, ts: float, category: str, name: str, track: str,
+                txn_id: int = -1,
+                args: dict[str, typing.Any] | None = None) -> None:
+        if category in self.categories:
+            self._push(InstantRecord(ts, category, name, track, txn_id,
+                                     args))
+
+    def span(self, ts: float, dur: float, category: str, name: str,
+             track: str, txn_id: int = -1,
+             args: dict[str, typing.Any] | None = None) -> None:
+        if category in self.categories:
+            self._push(SpanRecord(ts, dur, category, name, track, txn_id,
+                                  args))
+
+    def counter(self, ts: float, category: str, name: str, track: str,
+                value: float) -> None:
+        if category in self.categories:
+            self._push(CounterRecord(ts, category, name, track, value))
+
+    # ------------------------------------------------------------------
+    # Reading (exporters and tests)
+    # ------------------------------------------------------------------
+    def records(self) -> list[TraceRecord]:
+        """All retained records, oldest first (unwraps the ring)."""
+        buffer = self._buffer
+        if len(buffer) < self.capacity or self._head == 0:
+            return list(buffer)
+        return buffer[self._head:] + buffer[:self._head]
+
+    def instants(self) -> list[InstantRecord]:
+        return [r for r in self.records() if isinstance(r, InstantRecord)]
+
+    def spans(self) -> list[SpanRecord]:
+        return [r for r in self.records() if isinstance(r, SpanRecord)]
+
+    def counters(self) -> list[CounterRecord]:
+        return [r for r in self.records() if isinstance(r, CounterRecord)]

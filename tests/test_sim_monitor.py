@@ -64,6 +64,58 @@ class TestTally:
         assert tally.stdev == pytest.approx(tally.variance ** 0.5)
 
 
+class TestTallyMerge:
+    def test_merge_into_empty_copies(self):
+        a, b = Tally("a"), Tally("b")
+        for v in (1.0, 2.0, 3.0):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 3
+        assert a.mean == b.mean
+        assert a.variance == b.variance
+        assert (a.minimum, a.maximum) == (1.0, 3.0)
+
+    def test_merge_empty_is_noop(self):
+        a = Tally()
+        a.observe(5.0)
+        a.merge(Tally())
+        assert a.count == 1
+        assert a.mean == 5.0
+
+    def test_merge_returns_self_for_chaining(self):
+        a, b, c = Tally(), Tally(), Tally()
+        b.observe(1.0)
+        c.observe(2.0)
+        assert a.merge(b).merge(c) is a
+        assert a.count == 2
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60),
+           st.lists(finite_floats, min_size=1, max_size=60))
+    @settings(max_examples=100)
+    def test_merge_matches_sequential_observation(self, left, right):
+        merged = Tally()
+        for v in left:
+            merged.observe(v)
+        other = Tally()
+        for v in right:
+            other.observe(v)
+        merged.merge(other)
+
+        sequential = Tally()
+        for v in left + right:
+            sequential.observe(v)
+
+        assert merged.count == sequential.count
+        assert merged.total == pytest.approx(sequential.total,
+                                             rel=1e-9, abs=1e-6)
+        assert merged.mean == pytest.approx(sequential.mean,
+                                            rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(sequential.variance,
+                                                rel=1e-6, abs=1e-6)
+        assert merged.minimum == sequential.minimum
+        assert merged.maximum == sequential.maximum
+
+
 class TestTimeSeries:
     def test_record_and_items(self):
         series = TimeSeries("s")
@@ -141,6 +193,98 @@ class TestTimeSeries:
             sum(v for __, v in points), rel=1e-9, abs=1e-6)
 
 
+class TestBoundedTimeSeries:
+    def test_unbounded_by_default(self):
+        series = TimeSeries()
+        for t in range(10_000):
+            series.record(float(t), 1.0)
+        assert len(series) == 10_000
+
+    def test_requires_at_least_two_points(self):
+        with pytest.raises(ValueError):
+            TimeSeries(max_points=1)
+
+    def test_stays_within_bound(self):
+        series = TimeSeries(max_points=64)
+        for t in range(100_000):
+            series.record(float(t), float(t))
+        assert len(series) <= 64
+        assert series.offered == 100_000
+
+    def test_decimation_keeps_fixed_stride_grid(self):
+        series = TimeSeries(max_points=8)
+        for t in range(1000):
+            series.record(float(t), float(t))
+        # Retained samples sit on a uniform power-of-two offer grid.
+        stride = series.stride
+        assert stride >= 2
+        assert all(t % stride == 0 for t in series.times)
+        diffs = {b - a for a, b in zip(series.times, series.times[1:])}
+        assert diffs == {float(stride)}
+
+    def test_decimation_preserves_first_sample(self):
+        series = TimeSeries(max_points=4)
+        for t in range(100):
+            series.record(float(t), float(t))
+        assert series.times[0] == 0.0
+
+    def test_odd_max_points_never_exceeds_bound(self):
+        series = TimeSeries(max_points=5)
+        for t in range(10_000):
+            series.record(float(t), 1.0)
+        assert len(series) <= 5
+
+    def test_monotonicity_still_enforced_when_bounded(self):
+        series = TimeSeries(max_points=4)
+        series.record(10.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(5.0, 1.0)
+
+
+class TestTimeWeightedMean:
+    def test_empty_series_is_zero(self):
+        assert TimeSeries().time_weighted_mean() == 0.0
+
+    def test_piecewise_constant_integral(self):
+        series = TimeSeries()
+        series.record(0.0, 2.0)   # 2 over [0, 10)
+        series.record(10.0, 4.0)  # 4 over [10, 20)
+        assert series.time_weighted_mean(until=20.0) == pytest.approx(3.0)
+
+    def test_last_value_extends_to_until(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        assert series.time_weighted_mean(until=5.0) == pytest.approx(1.0)
+
+    def test_until_before_last_sample_rejected(self):
+        series = TimeSeries()
+        series.record(10.0, 1.0)
+        with pytest.raises(ValueError):
+            series.time_weighted_mean(until=5.0)
+
+    def test_single_sample_zero_span_falls_back_to_mean(self):
+        series = TimeSeries()
+        series.record(3.0, 7.0)
+        assert series.time_weighted_mean() == 7.0
+
+    def test_back_to_back_same_timestamp_regression(self):
+        # Several lifecycle events can land at one simulated instant; a
+        # series made only of such samples has zero span and must not
+        # divide by zero.
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        series.record(5.0, 3.0)
+        series.record(5.0, 5.0)
+        assert series.time_weighted_mean() == pytest.approx(3.0)
+
+    def test_same_timestamp_pair_mid_series_contributes_no_weight(self):
+        series = TimeSeries()
+        series.record(0.0, 2.0)
+        series.record(10.0, 100.0)  # instantly replaced at t=10
+        series.record(10.0, 2.0)
+        assert series.time_weighted_mean(until=20.0) == pytest.approx(2.0)
+
+
 class TestTimeWeighted:
     def test_constant_signal(self):
         clock = [0.0]
@@ -160,6 +304,18 @@ class TestTimeWeighted:
     def test_zero_span_returns_current(self):
         tw = TimeWeighted(lambda: 0.0, initial=7.0)
         assert tw.average == 7.0
+
+    def test_back_to_back_same_timestamp_updates_regression(self):
+        # Two updates at one simulated instant must not divide by zero
+        # and must report the latest value as the (zero-span) average.
+        clock = [3.0]
+        tw = TimeWeighted(lambda: clock[0], initial=1.0)
+        tw.update(10.0)
+        tw.update(20.0)
+        assert tw.current == 20.0
+        assert tw.average == 20.0
+        clock[0] = 13.0  # 20 for the whole non-zero span
+        assert tw.average == pytest.approx(20.0)
 
 
 class TestCounters:

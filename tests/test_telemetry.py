@@ -1,0 +1,413 @@
+"""Tests for :mod:`repro.telemetry` — tracing, metrics, exporters.
+
+The golden test here is the span-lifecycle audit: on a real run, every
+transaction that reached a terminal state must have emitted exactly one
+``arrive`` instant and exactly one terminal instant, with the terminal
+last in its chain.  The other pillars: ring-buffer eviction semantics,
+Chrome-trace schema validity, the disabled path being a strict no-op,
+and byte-identical simulation results with telemetry on or off.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.runner import run_simulation
+from repro.qc.generator import QCFactory
+from repro.scheduling import make_scheduler
+from repro.sim import Environment
+from repro.telemetry import (CAT_SCHED, CAT_TXN, CATEGORIES, TXN_ARRIVE,
+                             TXN_TERMINALS, MetricsRegistry, TelemetryConfig,
+                             TelemetrySession, Tracer, chrome_trace_events,
+                             summary_report, to_chrome_trace,
+                             write_chrome_trace)
+from repro.telemetry.hooks import KernelProbe
+from repro.workload.synthetic import StockWorkloadGenerator, WorkloadSpec
+
+POLICIES = ("FIFO", "UH", "QH", "QUTS")
+
+
+def small_trace(seed=11, duration=8_000.0, **overrides):
+    spec = dataclasses.replace(WorkloadSpec().scaled(duration), **overrides)
+    return StockWorkloadGenerator(spec, master_seed=seed).generate()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return small_trace()
+
+
+def run_traced(trace, policy="QUTS", **kwargs):
+    result = run_simulation(make_scheduler(policy), trace,
+                            QCFactory.balanced(), master_seed=1,
+                            telemetry=TelemetryConfig(**kwargs))
+    assert result.telemetry is not None
+    return result
+
+
+def _renumber_txn_ids(events):
+    """Rewrite txn-id-bearing args to first-appearance ordinals.
+
+    Transaction ids come from a process-global counter, so two otherwise
+    identical runs in one process see different absolute ids.
+    """
+    mapping = {}
+
+    def ordinal(value):
+        if value not in mapping:
+            mapping[value] = len(mapping)
+        return mapping[value]
+
+    out = []
+    for event in events:
+        event = json.loads(json.dumps(event))
+        args = event.get("args")
+        if isinstance(args, dict):
+            for key in ("txn", "by", "id"):
+                if key in args:
+                    args[key] = ordinal(args[key])
+        out.append(event)
+    return out
+
+
+# ----------------------------------------------------------------------
+# The golden lifecycle audit
+# ----------------------------------------------------------------------
+class TestSpanLifecycleGolden:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_every_terminal_txn_has_one_arrive_one_terminal(self, trace,
+                                                            policy):
+        result = run_traced(trace, policy)
+        chains: dict[int, list[str]] = {}
+        for record in result.telemetry.tracer.instants():
+            if record.category == CAT_TXN and record.txn_id >= 0:
+                chains.setdefault(record.txn_id, []).append(record.name)
+
+        terminal_chains = 0
+        for txn_id, names in chains.items():
+            arrivals = names.count(TXN_ARRIVE)
+            terminals = [n for n in names if n in TXN_TERMINALS]
+            assert arrivals == 1, (txn_id, names)
+            assert names[0] == TXN_ARRIVE, (txn_id, names)
+            assert len(terminals) <= 1, (txn_id, names)
+            if terminals:
+                terminal_chains += 1
+                # The terminal is the chain's last lifecycle event.
+                assert names[-1] == terminals[0], (txn_id, names)
+
+        # Conservation: every submitted transaction reached a terminal.
+        assert terminal_chains == len(trace.queries) + len(trace.updates)
+
+    def test_lifecycle_counts_match_ledger(self, trace):
+        result = run_traced(trace)
+        counters = result.telemetry.registry.counter_values()
+        ledger = result.counters
+        assert counters.get("server/txn/commit", 0) == (
+            ledger.get("queries_committed", 0)
+            + ledger.get("updates_applied", 0))
+        assert counters.get("server/txn/supersede", 0) == ledger.get(
+            "updates_superseded", 0)
+        assert counters.get("server/txn/expire", 0) == ledger.get(
+            "queries_dropped_lifetime", 0)
+
+    def test_cpu_spans_cover_committed_service_time(self, trace):
+        result = run_traced(trace)
+        busy = sum(s.dur for s in result.telemetry.tracer.spans()
+                   if s.name in ("query", "update"))
+        # CPU busy time is positive and bounded by the simulated horizon.
+        assert 0.0 < busy <= result.duration
+
+
+# ----------------------------------------------------------------------
+# Determinism: byte-identical results on vs off, and the no-op path
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_results_identical_on_vs_off(self, trace, policy):
+        off = run_simulation(make_scheduler(policy), trace,
+                             QCFactory.balanced(), master_seed=1)
+        on = run_traced(trace, policy)
+        assert on.total_percent == off.total_percent
+        assert on.qos_percent == off.qos_percent
+        assert on.qod_percent == off.qod_percent
+        assert on.mean_response_time == off.mean_response_time
+        assert on.mean_staleness == off.mean_staleness
+        assert on.counters == off.counters
+        assert on.lock_stats == off.lock_stats
+        if on.rho_series is not None:
+            assert on.rho_series.times == off.rho_series.times
+            assert on.rho_series.values == off.rho_series.values
+
+    def test_disabled_config_is_noop(self, trace):
+        result = run_simulation(make_scheduler("QUTS"), trace,
+                                QCFactory.balanced(), master_seed=1,
+                                telemetry=TelemetryConfig(enabled=False))
+        assert result.telemetry is None
+
+    def test_none_knob_leaves_no_probes(self, trace):
+        scheduler = make_scheduler("QUTS")
+        result = run_simulation(scheduler, trace, QCFactory.balanced(),
+                                master_seed=1)
+        assert result.telemetry is None
+        assert scheduler.probe is None
+
+    def test_from_knob_coercions(self):
+        assert TelemetrySession.from_knob(None) is None
+        assert TelemetrySession.from_knob(False) is None
+        assert TelemetrySession.from_knob(
+            TelemetryConfig(enabled=False)) is None
+        session = TelemetrySession.from_knob(True)
+        assert isinstance(session, TelemetrySession)
+        assert TelemetrySession.from_knob(session) is session
+        with pytest.raises(TypeError):
+            TelemetrySession.from_knob("yes")  # type: ignore[arg-type]
+
+    def test_tracer_from_disabled_config_is_none(self):
+        assert Tracer.from_config(None) is None
+        assert Tracer.from_config(TelemetryConfig(enabled=False)) is None
+
+    def test_environment_observer_defaults_off(self):
+        assert Environment().telemetry is None
+
+    def test_cluster_run_shares_one_session_across_replicas(self, trace):
+        from repro.cluster import HedgedRouter, run_cluster_simulation
+
+        def run(telemetry):
+            return run_cluster_simulation(
+                2, lambda: make_scheduler("QUTS"), trace,
+                QCFactory.balanced(), router=HedgedRouter(),
+                master_seed=7, telemetry=telemetry)
+
+        off = run(None)
+        on = run(TelemetryConfig())
+        assert off.telemetry is None
+        assert on.telemetry is not None
+        assert on.total_percent == off.total_percent
+        assert sorted(on.counters.items()) == sorted(off.counters.items())
+        scopes = {record.track.split("/")[0]
+                  for record in on.telemetry.tracer.records()}
+        assert {"replica0", "replica1"} <= scopes
+
+
+# ----------------------------------------------------------------------
+# Ring buffer
+# ----------------------------------------------------------------------
+class TestRingBuffer:
+    def test_eviction_overwrites_oldest(self):
+        tracer = Tracer(buffer_size=4)
+        for i in range(10):
+            tracer.instant(float(i), CAT_TXN, "arrive", "server/lifecycle",
+                           txn_id=i)
+        assert len(tracer) == 4
+        assert tracer.emitted == 10
+        assert tracer.dropped == 6
+        kept = [r.txn_id for r in tracer.records()]
+        assert kept == [6, 7, 8, 9]  # oldest-first, newest retained
+
+    def test_no_drops_below_capacity(self):
+        tracer = Tracer(buffer_size=8)
+        for i in range(8):
+            tracer.counter(float(i), CAT_SCHED, "rho", "server/sched", 0.5)
+        assert tracer.dropped == 0
+        assert [r.ts for r in tracer.records()] == [float(i)
+                                                    for i in range(8)]
+
+    def test_category_filter_drops_early(self):
+        tracer = Tracer(categories=(CAT_SCHED,), buffer_size=8)
+        tracer.instant(0.0, CAT_TXN, "arrive", "server/lifecycle")
+        tracer.instant(0.0, CAT_SCHED, "quantum_draw", "server/sched")
+        assert tracer.emitted == 1
+        assert [r.category for r in tracer.records()] == [CAT_SCHED]
+        assert tracer.enabled_for(CAT_SCHED)
+        assert not tracer.enabled_for(CAT_TXN)
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(buffer_size=0)
+        with pytest.raises(ValueError):
+            Tracer(categories=("nope",))
+        with pytest.raises(ValueError):
+            TelemetryConfig(buffer_size=-1)
+        with pytest.raises(ValueError):
+            TelemetryConfig(categories=("nope",))
+
+    def test_small_buffer_run_reports_drops(self, trace):
+        result = run_traced(trace, buffer_size=256)
+        tracer = result.telemetry.tracer
+        assert len(tracer) == 256
+        assert tracer.dropped == tracer.emitted - 256 > 0
+        times = [r.ts for r in tracer.records()]
+        assert times == sorted(times)  # oldest-first after unwrapping
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+class TestChromeExport:
+    def test_schema(self, trace):
+        result = run_traced(trace)
+        payload = to_chrome_trace(result.telemetry.tracer,
+                                  metadata={"policy": "QUTS"})
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["policy"] == "QUTS"
+        assert payload["otherData"]["dropped"] == 0
+        events = payload["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X", "i", "C"}
+        assert {"X", "i", "C", "M"} <= phases  # all record kinds present
+        for event in events:
+            assert {"ph", "pid", "tid", "name"} <= event.keys()
+            if event["ph"] == "M":
+                assert event["name"] in ("process_name", "thread_name")
+                continue
+            assert event["ts"] >= 0.0
+            assert isinstance(event["cat"], str)
+            if event["ph"] == "X":
+                assert event["dur"] > 0.0
+            elif event["ph"] == "C":
+                assert "value" in event["args"]
+            elif event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_tracks_become_named_processes_and_threads(self, trace):
+        result = run_traced(trace)
+        events = chrome_trace_events(result.telemetry.tracer)
+        processes = {e["args"]["name"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+        threads = {e["args"]["name"] for e in events
+                   if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "server" in processes
+        assert {"lifecycle", "cpu", "sched", "queues"} <= threads
+
+    def test_timestamps_scaled_to_microseconds(self):
+        tracer = Tracer(buffer_size=4)
+        tracer.span(2.0, 1.5, CAT_TXN, "query", "server/cpu", txn_id=7)
+        (event,) = [e for e in chrome_trace_events(tracer)
+                    if e["ph"] == "X"]
+        assert event["ts"] == 2_000.0
+        assert event["dur"] == 1_500.0
+
+    def test_write_chrome_trace_is_valid_json(self, trace, tmp_path):
+        result = run_traced(trace)
+        target = write_chrome_trace(result.telemetry.tracer,
+                                    tmp_path / "trace.json")
+        loaded = json.loads(target.read_text())
+        assert loaded["traceEvents"]
+        assert loaded["otherData"]["clock"] == "simulated-ms"
+
+    def test_export_is_deterministic(self, trace):
+        # Transaction ids are process-global (monotone across runs), so
+        # compare with ids renumbered by order of first appearance.
+        a = run_traced(trace)
+        b = run_traced(trace)
+        assert (_renumber_txn_ids(chrome_trace_events(a.telemetry.tracer))
+                == _renumber_txn_ids(chrome_trace_events(
+                    b.telemetry.tracer)))
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counters_and_gauges_lazy(self):
+        registry = MetricsRegistry()
+        registry.counter("a").increment(3)
+        registry.gauge("g").record(0.0, 1.0)
+        assert registry.counter_values() == {"a": 3}
+        assert list(registry.gauges()) == ["g"]
+
+    def test_scoped_prefixes(self):
+        registry = MetricsRegistry()
+        scoped = registry.scoped("replica1")
+        scoped.counter("txn/commit").increment()
+        assert registry.counter_values() == {"replica1/txn/commit": 1}
+
+    def test_gauges_bounded(self):
+        registry = MetricsRegistry(series_points=16)
+        gauge = registry.gauge("depth")
+        for t in range(10_000):
+            gauge.record(float(t), float(t))
+        assert len(gauge) <= 16
+
+    def test_histogram_buckets_and_merge(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("rt", boundaries=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert sum(h.counts) == 3
+        other = MetricsRegistry()
+        other.histogram("rt", boundaries=(1.0, 10.0)).observe(2.0)
+        registry.merge(other)
+        assert sum(registry.histograms()["rt"].counts) == 4
+
+    def test_merge_adds_counters(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").increment(1)
+        b.counter("x").increment(2)
+        b.counter("y").increment(5)
+        a.merge(b)
+        assert a.counter_values() == {"x": 3, "y": 5}
+
+    def test_kernel_probe_counts_flushed(self, trace):
+        result = run_traced(trace)
+        counters = result.telemetry.registry.counter_values()
+        kernel = {k: v for k, v in counters.items()
+                  if k.startswith("kernel/events_")}
+        assert kernel  # the instrumented loop saw events
+        assert kernel.get("kernel/events_timeout", 0) > 0
+
+    def test_kernel_probe_not_attached_without_category(self, trace):
+        result = run_traced(trace, categories=("txn",))
+        counters = result.telemetry.registry.counter_values()
+        assert not any(k.startswith("kernel/") for k in counters)
+
+
+# ----------------------------------------------------------------------
+# Summary + CLI
+# ----------------------------------------------------------------------
+class TestSummaryAndCli:
+    def test_summary_report_mentions_counts(self, trace):
+        result = run_traced(trace)
+        text = summary_report(result.telemetry.tracer,
+                              result.telemetry.registry)
+        assert "records retained" in text
+        assert "txn" in text
+        assert "busy time" in text
+
+    def test_trace_cli_writes_perfetto_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert cli_main(["trace", "figures", "--fig", "5", "--scale",
+                         "smoke", "--out", str(out), "--summary"]) == 0
+        printed = capsys.readouterr().out
+        assert "wrote" in printed
+        assert "telemetry summary" in printed
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["fig"] == 5
+
+    def test_trace_cli_rejects_unknown_category(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["trace", "run", "--categories", "bogus",
+                      "--out", str(tmp_path / "t.json")])
+
+    def test_all_categories_exported(self):
+        assert CATEGORIES == {"txn", "sched", "cluster", "kernel"}
+
+    def test_session_rejects_disabled_config(self):
+        with pytest.raises(ValueError):
+            TelemetrySession(TelemetryConfig(enabled=False))
+
+    def test_kernel_probe_is_event_observer(self):
+        probe = KernelProbe(MetricsRegistry().scoped("kernel"))
+        env = Environment()
+        env.telemetry = probe
+        env.process(_tick(env), name="tick")
+        env.run(until=10.0)
+        probe.flush()
+        assert probe.counts.get("timeout", 0) >= 1
+
+
+def _tick(env):
+    yield env.timeout(1.0)
