@@ -1,0 +1,115 @@
+"""Gray-failure defense: breaker + brownout vs the health-bit baseline.
+
+A 3-replica hedged deployment suffers a *gray* failure schedule — one
+replica serves 6x slower (alive, wrong), another silently drops its
+update broadcast for a window — under three arms:
+
+- **fault-free**: the same run with no faults (the ceiling);
+- **baseline**: faults on, but routing sees only the binary up/down
+  health bit — the slow replica keeps absorbing hedged traffic and the
+  stale replica keeps answering with outdated data;
+- **defended**: faults on, with the failure detector + per-replica
+  circuit breaker steering traffic away from suspected replicas and
+  brownout admission degrading service under the resulting pressure.
+
+The headline assertion is the acceptance criterion for the defense
+layer: the defended arm retains strictly more profit than the
+health-bit-only baseline on the identical fault schedule, and the
+breaker demonstrably tripped (the win is attributable, not luck).
+Results land in ``benchmarks/results/gray_failure.json``.
+"""
+
+import json
+
+from conftest import run_once
+
+from repro.cluster import HealthConfig, HedgedRouter, run_cluster_simulation
+from repro.db.admission import BrownoutAdmission
+from repro.faults import FaultPlan
+from repro.qc.generator import QCFactory
+from repro.scheduling import make_scheduler
+
+N_REPLICAS = 3
+SLOW_FACTOR = 6.0
+HEALTH = HealthConfig(trip_suspicion=0.8, clear_suspicion=0.4,
+                      open_ms=2_000.0)
+
+
+def _gray_plan(horizon_ms: float) -> FaultPlan:
+    """One slow replica + one lossy broadcast window, mid-run."""
+    return FaultPlan.slowdown(
+        0, at_ms=horizon_ms * 0.1, duration_ms=horizon_ms * 0.6,
+        factor=SLOW_FACTOR,
+    ).merged(FaultPlan.update_loss(
+        1, at_ms=horizon_ms * 0.3, duration_ms=horizon_ms * 0.4))
+
+
+def _run(trace, *, fault_plan=None, health=None, admission_factory=None):
+    return run_cluster_simulation(
+        N_REPLICAS, lambda: make_scheduler("QUTS"), trace,
+        QCFactory.balanced(), router=HedgedRouter(), master_seed=1,
+        fault_plan=fault_plan, invariants=True, health=health,
+        admission_factory=admission_factory)
+
+
+def _arms(trace):
+    plan = _gray_plan(trace.duration_ms)
+    return {
+        "fault_free": _run(trace),
+        "baseline": _run(trace, fault_plan=plan),
+        "defended": _run(trace, fault_plan=plan, health=HEALTH,
+                         admission_factory=lambda: BrownoutAdmission(
+                             high_watermark=4, low_watermark=1)),
+    }
+
+
+def test_breaker_and_brownout_recover_profit(benchmark, config, trace,
+                                             results_dir):
+    arms = run_once(benchmark, _arms, trace)
+    free, base, defended = (arms["fault_free"], arms["baseline"],
+                            arms["defended"])
+
+    # The schedule bit: both arms saw the same gray faults.
+    for result in (base, defended):
+        assert result.fault_counters["replica_slowdowns"] == 1
+        assert result.fault_counters["updates_dropped_window"] > 0
+    # The defense bit: the breaker tripped on the slow replica and took
+    # it out of the hedged rotation while it was suspect.
+    assert defended.fault_counters.get("breaker_trips", 0) > 0
+    assert defended.routed_counts[0] < base.routed_counts[0]
+
+    # The headline: same faults, strictly more profit with the defense
+    # layer on — and nobody beats the fault-free ceiling.
+    assert defended.total_percent > base.total_percent
+    assert free.total_percent >= defended.total_percent
+
+    rows = {
+        name: {
+            "total_percent": result.total_percent,
+            "qos_percent": result.qos_percent,
+            "qod_percent": result.qod_percent,
+            "mean_response_time_ms": result.mean_response_time,
+            "routed_counts": list(result.routed_counts),
+            "breaker_trips": result.fault_counters.get("breaker_trips", 0),
+            "queries_browned_out":
+                result.counters.get("queries_browned_out", 0),
+        }
+        for name, result in arms.items()
+    }
+    payload = {
+        "scale": config.scale,
+        "n_replicas": N_REPLICAS,
+        "slow_factor": SLOW_FACTOR,
+        "horizon_ms": trace.duration_ms,
+        "policy": "QUTS",
+        "arms": rows,
+        "defended_vs_baseline_gain":
+            defended.total_percent - base.total_percent,
+    }
+    path = results_dir / "gray_failure.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"\ngray failure: fault-free={free.total_percent:.3f} "
+          f"baseline={base.total_percent:.3f} "
+          f"defended={defended.total_percent:.3f} "
+          f"(gain {payload['defended_vs_baseline_gain']:+.3f}) "
+          f"[saved to {path}]")

@@ -21,6 +21,9 @@ no-float-eq-on-clock  the simulated clock is a float; exact equality
                    against it is seed-dependent luck
 exception-hygiene  scheduler/db/WAL hot paths may not swallow errors
                    that the invariant monitor needs to see
+no-ambient-entropy fault/chaos code may not read OS entropy (urandom,
+                   uuid4, secrets) — schedules must derive from the
+                   master seed alone
 ================== ==================================================
 """
 
@@ -31,9 +34,9 @@ import typing
 
 from .core import Rule, SourceModule
 
-__all__ = ["ALL_RULES", "ClockEqualityRule", "ExceptionHygieneRule",
-           "GlobalRngRule", "PicklableTaskRule", "SlotsHygieneRule",
-           "WallClockRule"]
+__all__ = ["ALL_RULES", "AmbientEntropyRule", "ClockEqualityRule",
+           "ExceptionHygieneRule", "GlobalRngRule", "PicklableTaskRule",
+           "SlotsHygieneRule", "WallClockRule"]
 
 #: Directories holding the simulator's hot paths: classes here are
 #: constructed millions of times per run and stay ``__slots__``-based.
@@ -377,6 +380,75 @@ class ExceptionHygieneRule(Rule):
                         "invariant violations; handle or re-raise")
 
 
+# ----------------------------------------------------------------------
+class AmbientEntropyRule(Rule):
+    """No OS entropy: schedules must derive from the master seed alone.
+
+    The chaos harness's whole value rests on ``repro chaos --seed N``
+    reproducing bit-identical schedules, verdicts, and shrunk repro
+    artifacts.  ``os.urandom``, ``uuid.uuid4`` and the ``secrets``
+    module read kernel entropy that no seed controls — one call
+    anywhere in simulation or fault code silently turns a repro
+    artifact into a one-off.  (Wall clocks, the other ambient entropy
+    source, are banned by ``no-wall-clock``.)
+    """
+
+    rule_id = "no-ambient-entropy"
+    summary = ("OS entropy read (os.urandom/uuid4/secrets); derive all "
+               "randomness from seeded StreamRegistry streams")
+
+    BANNED: typing.ClassVar[frozenset[str]] = frozenset({
+        "os.urandom", "os.getrandom",
+        "uuid.uuid1", "uuid.uuid4",
+    })
+    BANNED_MODULES: typing.ClassVar[frozenset[str]] = frozenset({
+        "secrets",
+    })
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in self.BANNED_MODULES:
+                self.report(node,
+                            f"imports '{alias.name}' (kernel entropy); "
+                            f"derive randomness from StreamRegistry "
+                            f"streams")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return
+        if node.module in self.BANNED_MODULES:
+            self.report(node,
+                        f"imports from '{node.module}' (kernel "
+                        f"entropy); derive randomness from "
+                        f"StreamRegistry streams")
+            return
+        for alias in node.names:
+            if f"{node.module}.{alias.name}" in self.BANNED:
+                self.report(node,
+                            f"imports the entropy source "
+                            f"'{node.module}.{alias.name}'")
+
+    def _check(self, node: ast.expr) -> None:
+        assert self.module is not None
+        target = self.module.imports.resolve(node)
+        if target is None:
+            return
+        if target in self.BANNED or any(
+                target.startswith(mod + ".")
+                for mod in self.BANNED_MODULES):
+            self.report(node,
+                        f"reads OS entropy via '{target}'; no seed "
+                        f"reproduces it — use a named StreamRegistry "
+                        f"stream")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        self._check(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._check(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     GlobalRngRule,
@@ -384,4 +456,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SlotsHygieneRule,
     ClockEqualityRule,
     ExceptionHygieneRule,
+    AmbientEntropyRule,
 )

@@ -10,6 +10,7 @@ Examples::
     repro lint src benchmarks  # simlint determinism static analysis
     repro trace figures --fig 5 --out trace.json
                                # instrumented run -> Perfetto trace
+    repro chaos --seeds 8      # chaos search; shrinks failing schedules
 """
 
 from __future__ import annotations
@@ -43,7 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
                "static analyser (see 'repro lint --help'); "
                "'repro trace <experiment>' runs one instrumented "
                "simulation and exports a Chrome/Perfetto trace "
-               "(see 'repro trace --help')")
+               "(see 'repro trace --help'); "
+               "'repro chaos [--seeds N]' searches sampled gray-failure "
+               "schedules for invariant violations and shrinks failures "
+               "to minimal JSON repros (see 'repro chaos --help')")
     parser.add_argument("experiment", choices=EXPERIMENTS,
                         help="which table/figure to regenerate")
     parser.add_argument("--scale", default=None,
@@ -79,6 +83,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         # Same pattern: the trace exporter owns its own grammar.
         from repro.telemetry.cli import main as trace_main
         return trace_main(argv[1:])
+    if argv[:1] == ["chaos"]:
+        # Same pattern: the chaos harness owns its own grammar.
+        from repro.experiments.chaos import main as chaos_main
+        return chaos_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig.from_env(args.scale, workers=args.workers)
     handler = _HANDLERS[args.experiment]

@@ -7,16 +7,24 @@ machinery (replica crash/recovery, failure-aware routing, query
 failover) that :mod:`repro.faults` exercises.
 """
 
+from .health import (CLOSED, HALF_OPEN, OPEN, CircuitBreaker,
+                     FailureDetector, HealthConfig)
 from .portal import RecoveryIncident, ReplicaHandle, ReplicatedPortal
 from .routers import (HedgedRouter, LeastLoadedRouter, NoHealthyReplica,
                       QCAwareRouter, RoundRobinRouter, Router)
 from .runner import ClusterResult, run_cluster_simulation
 
 __all__ = [
+    "CLOSED",
+    "CircuitBreaker",
     "ClusterResult",
+    "FailureDetector",
+    "HALF_OPEN",
+    "HealthConfig",
     "HedgedRouter",
     "LeastLoadedRouter",
     "NoHealthyReplica",
+    "OPEN",
     "QCAwareRouter",
     "RecoveryIncident",
     "ReplicaHandle",

@@ -35,12 +35,14 @@ percentages comparable with single-server results.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing
 
+from repro.db.admission import AdmissionPolicy
 from repro.db.database import Database
 from repro.db.server import DatabaseServer, ServerConfig
 from repro.db.transactions import Query, Transaction, TxnStatus, Update
-from repro.db.wal import DurabilityConfig, WriteAheadLog
+from repro.db.wal import DurabilityConfig, WalRecord, WriteAheadLog
 from repro.metrics.profit import ProfitLedger
 from repro.scheduling.base import Scheduler
 from repro.sim import Environment
@@ -50,10 +52,21 @@ from repro.sim.monitor import CounterSet
 from repro.sim.rng import StreamRegistry
 from repro.telemetry.hooks import TelemetryKnob, TelemetrySession
 
+from .health import OPEN, CircuitBreaker, FailureDetector, HealthConfig
 from .routers import (NoHealthyReplica, RoundRobinRouter, Router)
 
 #: A missed broadcast, kept for recovery re-sync: (exec_ms, item, value).
 _MissedUpdate = tuple[float, str, float]
+
+#: A broadcast withheld by a lossy window: (seq, exec_ms, item, value).
+_WithheldUpdate = tuple[int, float, str, float]
+
+#: Test-only flag for the chaos harness's planted-bug meta-test: when
+#: True, :meth:`ReplicatedPortal.heal_updates` "forgets" the newest
+#: dropped update during re-sync — a deliberately broken heal the
+#: ``gap_healed`` invariant must catch (and the shrinker must minimise).
+#: Never set outside tests; see :mod:`repro.experiments.chaos`.
+PLANTED_RESYNC_BUG = False
 
 
 @dataclasses.dataclass
@@ -149,6 +162,22 @@ class ReplicaHandle:
         self.missed_updates: list[_MissedUpdate] = []
         #: The in-progress crash episode (None while up and caught up).
         self.open_incident: RecoveryIncident | None = None
+        #: Newest broadcast sequence number this replica has seen (gap
+        #: detection: a jump means the lossy link ate something).
+        self.last_seq = 0
+        #: Open lossy-window mode (None | "drop" | "delay" | "reorder").
+        self.loss_mode: str | None = None
+        #: Delivery delay while ``loss_mode == "delay"`` (ms).
+        self.loss_delay_ms = 0.0
+        #: Broadcasts withheld by a drop/reorder window, re-synced on heal.
+        self.withheld: list[_WithheldUpdate] = []
+        #: In-flight delayed deliveries: mutable
+        #: ``[delivered, exec_ms, item, value, seq]`` entries (flag set
+        #: when the timer or heal flush delivers, so the other side
+        #: no-ops).
+        self.delayed: list[list] = []
+        #: Circuit breaker (None unless the portal has a HealthConfig).
+        self.breaker: CircuitBreaker | None = None
 
     def pending_queries(self) -> int:
         return self.server.scheduler.pending_queries()
@@ -174,7 +203,10 @@ class ReplicatedPortal:
                  failover_backoff_ms: float = 50.0,
                  durability: DurabilityConfig | None = None,
                  monitor: InvariantMonitor | None = None,
-                 telemetry: TelemetryKnob = None) -> None:
+                 telemetry: TelemetryKnob = None,
+                 health: HealthConfig | None = None,
+                 admission_factory: typing.Callable[
+                     [], AdmissionPolicy] | None = None) -> None:
         if n_replicas <= 0:
             raise ValueError("need at least one replica")
         if failover_retries < 0:
@@ -190,12 +222,21 @@ class ReplicatedPortal:
         self.failover_backoff_ms = failover_backoff_ms
         self.durability = durability
         self.monitor = monitor
+        self.health = health
         #: One shared telemetry session across the portal and every
         #: replica: each replica traces under its own ``replicaN`` scope,
         #: cluster incidents under ``portal``.
         self.telemetry = TelemetrySession.from_knob(telemetry)
         self._probe = (self.telemetry.cluster_probe("portal")
                        if self.telemetry is not None else None)
+        #: Jittered failover backoff: a dedicated named stream, so retry
+        #: storms de-synchronise deterministically.  Stream *creation* is
+        #: draw-free — a run that never retries is unaffected.
+        self._retry_rng = streams.stream("cluster.retry-backoff")
+        #: Reorder-window shuffles draw from their own named stream.
+        self._reorder_rng = streams.stream("cluster.reorder")
+        #: Global broadcast sequence number (gap detection's clock).
+        self._broadcast_seq = 0
         self.replicas: list[ReplicaHandle] = []
         for index in range(n_replicas):
             ledger = ProfitLedger()
@@ -204,10 +245,24 @@ class ReplicatedPortal:
             server = DatabaseServer(
                 env, Database(), scheduler_factory(), ledger,
                 streams.spawn(f"replica-{index}"),
-                config=server_config, wal=wal, monitor=monitor,
+                config=server_config,
+                admission=(admission_factory() if admission_factory
+                           is not None else None),
+                wal=wal, monitor=monitor,
                 telemetry=self.telemetry,
                 telemetry_scope=f"replica{index}")
             self.replicas.append(ReplicaHandle(index, server, ledger, wal))
+        #: Gray-failure defenses (only with an attached HealthConfig):
+        #: the suspicion detector plus one breaker per replica, all
+        #: sharing a single named jitter stream.
+        self.detector: FailureDetector | None = None
+        if health is not None:
+            self.detector = FailureDetector(n_replicas, health)
+            breaker_rng = streams.stream("cluster.breaker")
+            for handle in self.replicas:
+                handle.breaker = CircuitBreaker(health, breaker_rng)
+                handle.server.query_outcome_hook = functools.partial(
+                    self._on_query_outcome, handle)
         if durability is not None:
             env.process(self._checkpointer(), name="checkpointer")
         #: Queries routed per replica (for balance inspection); failover
@@ -282,6 +337,8 @@ class ReplicatedPortal:
         if not handle.up:
             raise ValueError(f"router chose dead replica {index}")
         self.routed_counts[index] += 1
+        if handle.breaker is not None:
+            handle.breaker.record_routed(self.env.now)
         handle.server.submit_query(query)
         if query.alive:  # not rejected by admission control
             self._remember_backup(query, index)
@@ -290,13 +347,72 @@ class ReplicatedPortal:
     def broadcast_update(self, arrival_time: float, exec_ms: float,
                          item: str, value: float) -> None:
         """Every live replica gets its own copy of the update; dead
-        replicas log it for re-sync at recovery."""
+        replicas log it for re-sync at recovery, and replicas behind a
+        lossy broadcast window (the ``drop/delay/reorder_updates`` gray
+        faults) see the window's failure mode instead of the update."""
+        self._broadcast_seq += 1
+        seq = self._broadcast_seq
         for replica in self.replicas:
-            if replica.up:
-                replica.server.submit_update(
-                    Update(arrival_time, exec_ms, item, value=value))
-            else:
+            if not replica.up:
                 replica.missed_updates.append((exec_ms, item, value))
+                continue
+            mode = replica.loss_mode
+            if mode is None:
+                self._deliver(replica, seq, arrival_time, exec_ms, item,
+                              value)
+            elif mode == "delay":
+                entry = [False, exec_ms, item, value, seq]
+                replica.delayed.append(entry)
+                self.fault_counters.increment("updates_delayed")
+                self.env.process(
+                    self._delayed_delivery(replica, entry),
+                    name=f"delayed-update-{seq}-r{replica.index}")
+            else:  # "drop" and "reorder" both withhold for the heal
+                replica.withheld.append((seq, exec_ms, item, value))
+                if mode == "drop":
+                    self.fault_counters.increment("updates_dropped_window")
+
+    def _deliver(self, handle: ReplicaHandle, seq: int | None,
+                 arrival_time: float, exec_ms: float, item: str,
+                 value: float) -> None:
+        """Hand one broadcast copy to a replica, with gap detection.
+
+        ``seq`` is the broadcast sequence number (None for re-sync
+        deliveries, which must not advance or trip the gap cursor).  A
+        jump past ``last_seq + 1`` means the link ate updates; a seq at
+        or below the cursor arrived out of order.  Both feed the failure
+        detector.  Deliveries can land on a replica that crashed after
+        they were scheduled (a delayed entry firing mid-outage); those
+        fall through to the missed-updates log like any other broadcast.
+        """
+        if not handle.up:
+            handle.missed_updates.append((exec_ms, item, value))
+            return
+        if seq is not None:
+            last = handle.last_seq
+            if seq > last + 1:
+                self._note_gap(handle, seq - last - 1)
+            elif seq <= last:
+                self._note_gap(handle, 1, out_of_order=True)
+            if seq > last:
+                handle.last_seq = seq
+        handle.server.submit_update(
+            Update(arrival_time, exec_ms, item, value=value))
+
+    def _delayed_delivery(self, handle: ReplicaHandle,
+                          entry: list) -> ProcessGenerator:
+        """Timer half of the delay window: deliver one entry late
+        (unless a heal flush or window abort beat the timer to it)."""
+        yield self.env.timeout(handle.loss_delay_ms)
+        if entry[0]:
+            return
+        entry[0] = True
+        now = self.env.now
+        self._deliver(handle, entry[4], now, entry[1], entry[2], entry[3])
+        # Late delivery is detector-visible evidence even when in-order.
+        if self.detector is not None:
+            self.detector.observe_gap(handle.index, 1, now)
+            self._sync_breaker(handle)
 
     # ------------------------------------------------------------------
     # Replica lifecycle (driven by the fault injector)
@@ -344,6 +460,19 @@ class ReplicatedPortal:
                     backup_index=self._backups.pop(txn.txn_id, None))
             else:
                 self._lose_update(typing.cast(Update, txn), handle)
+        # A crash closes any open gray-failure incident on the replica:
+        # the lossy window's withheld updates become ordinary missed
+        # broadcasts (newest re-sync work, after the WAL tail and the
+        # stranded in-flight updates above), and the slowdown clears —
+        # the repaired replica comes back at nominal rate.
+        self._abort_window(handle)
+        if handle.server.slowdown != 1.0:
+            handle.server.set_slowdown(1.0)
+        if handle.breaker is not None and handle.breaker.state != OPEN:
+            handle.breaker.trip(self.env.now)
+            self.fault_counters.increment("breaker_trips")
+            if self._probe is not None:
+                self._probe.breaker(self.env.now, index, OPEN)
 
     def recover_replica(self, index: int) -> None:
         """Repair ``index``: rejoin stale, then catch up (idempotent).
@@ -363,10 +492,12 @@ class ReplicatedPortal:
         crashed_at = typing.cast(float, handle.crashed_at)
         incident = handle.open_incident
         if handle.wal is not None:
-            # Restore BEFORE rejoining: a corrupt WAL aborts recovery
-            # here and the replica stays down (fail-stop), instead of
-            # re-entering rotation with a dead server behind it.
-            checkpoint, replayed = handle.server.restore_durable_state()
+            # Restore BEFORE rejoining.  The CRC scan inside survives
+            # silent corruption: the replay truncates at the first bad
+            # record and the refused suffix is read-repaired from a
+            # healthy peer below, instead of the old fail-stop abort.
+            checkpoint, replayed, refused = (
+                handle.server.restore_durable_state())
             if incident is not None:
                 incident.wal_replayed = replayed
                 incident.checkpoint_at = (
@@ -374,7 +505,18 @@ class ReplicatedPortal:
             self.fault_counters.increment("wal_records_replayed", replayed)
             if self._probe is not None:
                 self._probe.replay(now, index, replayed)
+            if refused:
+                self.fault_counters.increment("wal_corruption_detected",
+                                              len(refused))
+                if self.monitor is not None:
+                    self.monitor.record("wal_corruption_detected",
+                                        replica=index,
+                                        records=len(refused))
+                if self._probe is not None:
+                    self._probe.corrupt(now, index, len(refused))
+                self._read_repair(handle, refused)
         handle.up = True
+        handle.last_seq = self._broadcast_seq  # re-sync covers the gap
         handle.downtime_ms += now - crashed_at
         self.outage_spans.append((crashed_at, now))
         handle.crashed_at = None
@@ -407,6 +549,237 @@ class ReplicatedPortal:
             (update.exec_time, update.item, update.value))
 
     # ------------------------------------------------------------------
+    # Gray failures (driven by the fault injector)
+    # ------------------------------------------------------------------
+    def slow_replica(self, index: int, factor: float) -> None:
+        """Gray fault: ``index`` keeps serving, ``factor``x slower."""
+        self.replicas[index].server.set_slowdown(factor)
+        self.fault_counters.increment("replica_slowdowns")
+        if self._probe is not None:
+            self._probe.slow(self.env.now, index, factor)
+
+    def restore_replica(self, index: int) -> None:
+        """End a slowdown: ``index`` returns to its nominal rate."""
+        self.replicas[index].server.set_slowdown(1.0)
+        self.fault_counters.increment("replica_restores")
+        if self._probe is not None:
+            self._probe.slow(self.env.now, index, 1.0)
+
+    def open_update_window(self, index: int, mode: str,
+                           delay_ms: float = 0.0) -> None:
+        """Open a lossy broadcast window on ``index``.
+
+        ``mode`` is ``"drop"`` (broadcasts silently withheld),
+        ``"delay"`` (each delivered ``delay_ms`` late), or ``"reorder"``
+        (withheld, then delivered shuffled at the heal).  One window at
+        a time per replica — plan validation enforces the exclusivity.
+        """
+        if mode not in ("drop", "delay", "reorder"):
+            raise ValueError(f"unknown loss mode {mode!r}")
+        handle = self.replicas[index]
+        if handle.loss_mode is not None:
+            raise RuntimeError(
+                f"replica {index} already has a {handle.loss_mode!r} "
+                f"window open")
+        if mode == "delay" and delay_ms <= 0:
+            raise ValueError(
+                f"delay mode needs a positive delay_ms, got {delay_ms}")
+        handle.loss_mode = mode
+        handle.loss_delay_ms = delay_ms if mode == "delay" else 0.0
+        self.fault_counters.increment("update_windows_opened")
+        if self._probe is not None:
+            self._probe.window(self.env.now, index, mode)
+
+    def heal_updates(self, index: int) -> None:
+        """Close the lossy window on ``index`` and re-sync what it lost.
+
+        * **drop** — the gap is now observable (the detector learns the
+          full count at once) and every withheld update is re-delivered
+          as fresh re-sync work; the ``gap_healed`` invariant holds this
+          re-sync to completeness (dropped == re-synced), which is what
+          the chaos harness's planted-bug meta-test deliberately breaks.
+        * **delay** — pending deliveries flush immediately, in order.
+        * **reorder** — the withheld burst is delivered in a shuffled
+          order drawn from the named ``cluster.reorder`` stream (the
+          out-of-order sequence numbers feed the detector), then
+          per-item last-write-wins is restored by re-pushing the
+          true-newest value wherever the shuffle left an older one on
+          top.
+        """
+        handle = self.replicas[index]
+        mode = handle.loss_mode
+        if mode is None:
+            return
+        handle.loss_mode = None
+        now = self.env.now
+        resynced = 0
+        if mode == "drop":
+            withheld, handle.withheld = handle.withheld, []
+            dropped = len(withheld)
+            if dropped:
+                self._note_gap(handle, dropped)
+            if PLANTED_RESYNC_BUG and withheld:
+                withheld = withheld[:-1]  # the deliberate heal bug
+            for _seq, exec_ms, item, value in withheld:
+                self._deliver(handle, None, now, exec_ms, item, value)
+                resynced += 1
+            self.fault_counters.increment("updates_gap_resynced", resynced)
+            handle.last_seq = self._broadcast_seq
+            if self.monitor is not None:
+                self.monitor.record("gap_healed", replica=index,
+                                    dropped=dropped, resynced=resynced)
+        elif mode == "delay":
+            for entry in handle.delayed:
+                if not entry[0]:
+                    entry[0] = True
+                    self._deliver(handle, entry[4], now, entry[1],
+                                  entry[2], entry[3])
+                    resynced += 1
+            handle.delayed = []
+        else:  # reorder
+            withheld, handle.withheld = handle.withheld, []
+            order = list(range(len(withheld)))
+            self._reorder_rng.shuffle(order)
+            newest: dict[str, _WithheldUpdate] = {}
+            last_delivered: dict[str, int] = {}
+            for position in order:
+                seq, exec_ms, item, value = withheld[position]
+                self._deliver(handle, seq, now, exec_ms, item, value)
+                last_delivered[item] = seq
+                kept = newest.get(item)
+                if kept is None or seq > kept[0]:
+                    newest[item] = withheld[position]
+            for item in sorted(newest):
+                seq, exec_ms, _item, value = newest[item]
+                if last_delivered[item] != seq:
+                    # The shuffle left an older value registered last;
+                    # re-push the true-newest one (last-write-wins).
+                    self._deliver(handle, None, now, exec_ms, item, value)
+                    resynced += 1
+            self.fault_counters.increment("updates_reorder_resynced",
+                                          resynced)
+            handle.last_seq = self._broadcast_seq
+        self.fault_counters.increment("update_windows_healed")
+        if self._probe is not None:
+            self._probe.heal(now, index, mode, resynced)
+
+    def _abort_window(self, handle: ReplicaHandle) -> None:
+        """A crash closes any open window: everything the window still
+        holds becomes ordinary missed-broadcast re-sync work."""
+        mode = handle.loss_mode
+        handle.loss_mode = None
+        if mode is None and not handle.delayed:
+            return
+        withheld, handle.withheld = handle.withheld, []
+        for _seq, exec_ms, item, value in withheld:
+            handle.missed_updates.append((exec_ms, item, value))
+        for entry in handle.delayed:
+            if not entry[0]:
+                entry[0] = True
+                handle.missed_updates.append(
+                    (entry[1], entry[2], entry[3]))
+        handle.delayed = []
+        self.fault_counters.increment("update_windows_aborted")
+
+    def corrupt_wal(self, index: int, records: int = 1) -> None:
+        """Gray fault: silently damage the newest ``records`` durable WAL
+        records of ``index``.  Latent — nothing happens until the
+        replica next restores, whose CRC scan refuses the damaged
+        suffix and triggers peer read-repair (see
+        :meth:`recover_replica`).  A no-op without a durability layer
+        or an empty log (sampled schedules corrupt blindly)."""
+        handle = self.replicas[index]
+        if handle.wal is None:
+            self.fault_counters.increment("wal_corruptions_noop")
+            return
+        damaged = handle.wal.corrupt_tail(records)
+        if damaged:
+            self.fault_counters.increment("wal_records_corrupted", damaged)
+        else:
+            self.fault_counters.increment("wal_corruptions_noop")
+
+    def _read_repair(self, handle: ReplicaHandle,
+                     refused: list[WalRecord]) -> None:
+        """Re-source the items behind refused WAL records from a peer.
+
+        The lowest-indexed healthy replica donates its current applied
+        value per item; repairs are *prepended* to the missed-updates
+        backlog so that newer missed broadcasts (replayed after) still
+        win per-item.  With no healthy peer the items stay unrepaired
+        (counted) — the replica rejoins with pre-checkpoint values and
+        catches up only through subsequent broadcasts.
+        """
+        donor = next((peer for peer in self.replicas
+                      if peer.up and peer.index != handle.index), None)
+        if donor is None:
+            self.fault_counters.increment("wal_corrupt_unrepaired",
+                                          len(refused))
+            return
+        repairs: list[_MissedUpdate] = []
+        seen: set[str] = set()
+        for record in refused:
+            if record.item in seen:
+                continue
+            seen.add(record.item)
+            value = donor.server.database.read(record.item)
+            repairs.append((record.exec_ms, record.item, value))
+        handle.missed_updates[:0] = repairs
+        self.fault_counters.increment("wal_corrupt_resynced", len(repairs))
+
+    # ------------------------------------------------------------------
+    # Failure detection + circuit breaking (with a HealthConfig)
+    # ------------------------------------------------------------------
+    def _note_gap(self, handle: ReplicaHandle, missed: int,
+                  out_of_order: bool = False) -> None:
+        self.fault_counters.increment(
+            "broadcast_out_of_order" if out_of_order else "broadcast_gaps",
+            missed)
+        if self._probe is not None:
+            self._probe.gap(self.env.now, handle.index, missed,
+                            out_of_order)
+        if self.detector is not None:
+            self.detector.observe_gap(handle.index, missed, self.env.now)
+            self._sync_breaker(handle)
+
+    def _sync_breaker(self, handle: ReplicaHandle) -> None:
+        """Non-query evidence arrived: let a CLOSED breaker trip on it."""
+        breaker = handle.breaker
+        if breaker is None:
+            return
+        detector = typing.cast(FailureDetector, self.detector)
+        before = breaker.state
+        breaker.note_suspicion(
+            self.env.now, detector.suspicion(handle.index, self.env.now))
+        if breaker.state is not before and breaker.state == OPEN:
+            self.fault_counters.increment("breaker_trips")
+            if self._probe is not None:
+                self._probe.breaker(self.env.now, handle.index, OPEN)
+
+    def _on_query_outcome(self, handle: ReplicaHandle, query: Query,
+                          ok: bool) -> None:
+        """Server callback: one query finished (or died) on ``handle``."""
+        now = self.env.now
+        detector = typing.cast(FailureDetector, self.detector)
+        if ok:
+            detector.observe_response(handle.index, query.response_time(),
+                                      now)
+        else:
+            detector.observe_failure(handle.index, now)
+        breaker = typing.cast(CircuitBreaker, handle.breaker)
+        before = breaker.state
+        breaker.observe(now, ok, detector.suspicion(handle.index, now))
+        after = breaker.state
+        if after is not before:
+            if after == OPEN:
+                self.fault_counters.increment("breaker_trips")
+            elif before == OPEN:  # OPEN -> HALF_OPEN probe consumed
+                self.fault_counters.increment("breaker_probes")
+            else:
+                self.fault_counters.increment("breaker_closes")
+            if self._probe is not None:
+                self._probe.breaker(now, handle.index, after)
+
+    # ------------------------------------------------------------------
     # Query failover
     # ------------------------------------------------------------------
     def _remember_backup(self, query: Query, primary: int) -> None:
@@ -435,8 +808,12 @@ class ReplicatedPortal:
             self._adopt(query, backup_index)
             return
         for attempt in range(self.failover_retries):
+            # Jittered exponential backoff from the named
+            # ``cluster.retry-backoff`` stream: stranded queries spread
+            # out instead of stampeding the survivors in lock-step.
             yield self.env.timeout(
-                self.failover_backoff_ms * (2.0 ** attempt))
+                self.failover_backoff_ms * (2.0 ** attempt)
+                * self._retry_rng.uniform(0.5, 1.5))
             if query.past_lifetime(self.env.now):
                 break  # the crash ate the contract's whole lifetime
             try:
@@ -456,7 +833,10 @@ class ReplicatedPortal:
         self.fault_counters.increment("query_retries")
         if self._probe is not None:
             self._probe.adopt(self.env.now, query, index)
-        self.replicas[index].server.adopt_query(query)
+        handle = self.replicas[index]
+        if handle.breaker is not None:
+            handle.breaker.record_routed(self.env.now)
+        handle.server.adopt_query(query)
         if query.alive:
             self._remember_backup(query, index)
 

@@ -21,6 +21,14 @@ know.  **Every** router is failure-aware: a replica that is down is never
 chosen, and routing with zero healthy replicas raises
 :class:`NoHealthyReplica` (the portal turns that into retry-with-backoff
 rather than an error).
+
+Gray-failure awareness rides on the same interface: when the portal runs
+with a :class:`~.health.HealthConfig`, each replica handle carries a
+circuit breaker, and routers prefer replicas whose breaker admits
+traffic.  The preference **fails open**: if every up replica's breaker
+is refusing (all tripped at once), routers fall back to the plain
+up/down view rather than declaring the cluster dead — a paranoid
+detector must never cause an outage the fault didn't.
 """
 
 from __future__ import annotations
@@ -43,6 +51,14 @@ def _is_up(replica: "ReplicaHandle") -> bool:
     return getattr(replica, "up", True)
 
 
+def _breaker_allows(replica: "ReplicaHandle") -> bool:
+    """True when the replica's circuit breaker (if any) admits traffic."""
+    breaker = getattr(replica, "breaker", None)
+    if breaker is None:
+        return True
+    return breaker.routable(replica.server.env.now)
+
+
 class Router:
     """Chooses the replica that will serve an incoming query."""
 
@@ -56,19 +72,25 @@ class Router:
     @staticmethod
     def healthy_indices(
             replicas: "typing.Sequence[ReplicaHandle]") -> list[int]:
-        """Indices of the replicas that are up; raises when none are."""
-        healthy = [i for i, replica in enumerate(replicas)
-                   if _is_up(replica)]
-        if not healthy:
+        """Indices of the routable replicas; raises when none are up.
+
+        Prefers up replicas whose breaker admits traffic; falls back to
+        all up replicas when every breaker is refusing (fail open).
+        """
+        up = [i for i, replica in enumerate(replicas) if _is_up(replica)]
+        if not up:
             raise NoHealthyReplica("all replicas are down")
-        return healthy
+        routable = [i for i in up if _breaker_allows(replicas[i])]
+        return routable or up
 
 
 class RoundRobinRouter(Router):
     """Cycle through replicas regardless of contracts or load.
 
     Dead replicas are skipped; the cycle position advances past the chosen
-    replica, so the healthy subset is still visited evenly.
+    replica, so the healthy subset is still visited evenly.  Replicas
+    whose circuit breaker is refusing are skipped on a first pass and
+    reconsidered only if that leaves nothing (fail open).
     """
 
     name = "round-robin"
@@ -79,11 +101,19 @@ class RoundRobinRouter(Router):
     def choose(self, query: Query,
                replicas: "typing.Sequence[ReplicaHandle]") -> int:
         n = len(replicas)
+        fallback: int | None = None
         for offset in range(n):
             index = (self._next + offset) % n
-            if _is_up(replicas[index]):
+            if not _is_up(replicas[index]):
+                continue
+            if _breaker_allows(replicas[index]):
                 self._next = index + 1
                 return index
+            if fallback is None:
+                fallback = index
+        if fallback is not None:  # every up replica's breaker refused
+            self._next = fallback + 1
+            return fallback
         raise NoHealthyReplica("all replicas are down")
 
 
@@ -158,5 +188,7 @@ class HedgedRouter(Router):
                         if i != primary and _is_up(replicas[i])]
         if not alternatives:
             return None
-        return min(alternatives,
+        preferred = [i for i in alternatives
+                     if _breaker_allows(replicas[i])]
+        return min(preferred or alternatives,
                    key=lambda i: (replicas[i].pending_queries(), i))

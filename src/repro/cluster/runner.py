@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.db.admission import AdmissionPolicy
 from repro.db.server import ServerConfig
 from repro.db.transactions import Query
 from repro.db.wal import DurabilityConfig
@@ -18,6 +19,7 @@ from repro.sim.rng import StreamRegistry
 from repro.telemetry.hooks import KernelProbe, TelemetryKnob
 from repro.workload.traces import Trace
 
+from .health import HealthConfig
 from .portal import ReplicatedPortal
 from .routers import Router
 
@@ -132,6 +134,9 @@ def run_cluster_simulation(n_replicas: int,
                            durability: DurabilityConfig | None = None,
                            invariants: bool = False,
                            telemetry: "TelemetryKnob" = None,
+                           health: HealthConfig | None = None,
+                           admission_factory: typing.Callable[
+                               [], AdmissionPolicy] | None = None,
                            ) -> ClusterResult:
     """Replay ``trace`` against ``n_replicas`` servers behind ``router``.
 
@@ -155,6 +160,12 @@ def run_cluster_simulation(n_replicas: int,
     the conservation laws at the end — it observes only, so an audited
     run is bit-identical to an unaudited one.
 
+    ``health`` arms the gray-failure defense layer: a failure detector
+    plus one circuit breaker per replica, consulted by every router next
+    to the up/down bit.  ``admission_factory`` builds one admission
+    policy per replica (e.g. ``BrownoutAdmission`` to serve degraded
+    answers under overload instead of shedding).
+
     Traces are validated on the fly: non-monotonic arrival times raise
     :class:`ValueError` instead of being silently replayed with zero
     delay (which would corrupt every rate-derived statistic).
@@ -167,7 +178,8 @@ def run_cluster_simulation(n_replicas: int,
                               failover_retries=failover_retries,
                               failover_backoff_ms=failover_backoff_ms,
                               durability=durability, monitor=monitor,
-                              telemetry=telemetry)
+                              telemetry=telemetry, health=health,
+                              admission_factory=admission_factory)
     injector = (FaultInjector(env, fault_plan, portal)
                 if fault_plan is not None else None)
     qc_rng = streams.stream("qc.sampler")

@@ -19,7 +19,11 @@ Three policies are provided:
 * :class:`OverloadShedding` — graceful degradation under overload: a
   backlog watermark flips the server into a *shedding* mode that rejects
   the lowest-value contracts first, and hysteresis (a lower watermark to
-  leave the mode) keeps it from flapping at the boundary.
+  leave the mode) keeps it from flapping at the boundary;
+* :class:`BrownoutAdmission` — the non-rejecting sibling: under the same
+  watermarks it admits everything but serves QoD-degraded answers at a
+  fraction of the nominal service cost, keeping every contract in the
+  ledger denominators.
 
 Rejected queries are profit-neutral: their maxima are *not* added to the
 ledger denominators (the contract was declined, not broken), and they are
@@ -182,3 +186,65 @@ class OverloadShedding(AdmissionPolicy):
         if not self._shedding:
             return True
         return value >= self._value_threshold()
+
+
+class BrownoutAdmission(AdmissionPolicy):
+    """Serve degraded answers under overload instead of shedding.
+
+    Same watermark + hysteresis machinery as :class:`OverloadShedding`,
+    but the overload response is *brownout*, not rejection: every query
+    is still admitted, and while the backlog is between the watermarks
+    each admitted query is degraded via
+    :meth:`~repro.db.transactions.Query.apply_brownout` — its service
+    demand shrinks to ``degrade_factor`` of nominal (the freshness work
+    is skipped) and its QoD profit is forfeited at commit.
+
+    The crucial accounting difference from shedding: a browned-out
+    contract stays in **every** ledger denominator (it was admitted and
+    answered), so brownout shows up as reduced QoD profit, never as a
+    shrunken baseline.  Under overload this trades the QoD half of the
+    cheap contracts for keeping *all* the QoS halves alive — the
+    preference-aware answer to "degrade gracefully".
+
+    Degraded admissions are counted under ``queries_browned_out``.
+    """
+
+    name = "brownout"
+
+    def __init__(self, high_watermark: int = 150,
+                 low_watermark: int = 75,
+                 degrade_factor: float = 0.4) -> None:
+        if high_watermark <= 0:
+            raise ValueError(
+                f"high_watermark must be positive, got {high_watermark}")
+        if not 0 <= low_watermark < high_watermark:
+            raise ValueError(
+                f"need 0 <= low_watermark < high_watermark, got "
+                f"{low_watermark} / {high_watermark}")
+        if not 0.0 < degrade_factor <= 1.0:
+            raise ValueError(
+                f"degrade_factor must be in (0, 1], got {degrade_factor}")
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.degrade_factor = degrade_factor
+        self._degrading = False
+        #: Mode flips, for telemetry: (entered, left).
+        self.mode_changes = [0, 0]
+
+    @property
+    def is_degrading(self) -> bool:
+        """True while the server serves brownout answers."""
+        return self._degrading
+
+    def admit(self, query: Query, server: "DatabaseServer") -> bool:
+        backlog = server.scheduler.pending_queries()
+        if not self._degrading and backlog >= self.high_watermark:
+            self._degrading = True
+            self.mode_changes[0] += 1
+        elif self._degrading and backlog <= self.low_watermark:
+            self._degrading = False
+            self.mode_changes[1] += 1
+        if self._degrading:
+            query.apply_brownout(self.degrade_factor)
+            server.ledger.counters.increment("queries_browned_out")
+        return True

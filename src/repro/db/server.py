@@ -169,6 +169,16 @@ class DatabaseServer:
                 and session.tracer.enabled_for(CAT_KERNEL)):
             env.telemetry = session.kernel_probe()
 
+        #: Gray-failure service-rate multiplier (1.0 = nominal).  A CPU
+        #: slice of s ms of *work* occupies s × slowdown ms of wall
+        #: clock; set by the portal's ``slow_replica`` fault hook.
+        self._slowdown = 1.0
+        #: Optional callback ``(query, ok)`` the portal installs to feed
+        #: its failure detector: True on commit, False when the query
+        #: dies on this server (lifetime drop).
+        self.query_outcome_hook: (
+            typing.Callable[[Query, bool], None] | None) = None
+
         self._running: Transaction | None = None
         self._last_class: str | None = None
         self._idle_wakeup = None  # type: ignore[assignment]
@@ -346,8 +356,11 @@ class DatabaseServer:
         """
         self._running = txn
         started = self.env.now
+        rate = self._slowdown
+        overhead = self.config.class_switch_overhead
         try:
-            yield self.env.timeout(self.config.class_switch_overhead)
+            yield self.env.timeout(
+                overhead if rate == 1.0 else overhead * rate)
         except Interrupt:
             if not self._crashed and txn.alive:
                 # On a crash the transaction was already stranded by
@@ -382,10 +395,19 @@ class DatabaseServer:
             quantum = self.scheduler.quantum(txn, env.now)
             slice_ = min(txn.remaining, quantum)
             started = env.now
+            # Gray failure: a slowed replica stretches the wall-clock
+            # cost of each work slice.  The rate is captured per slice,
+            # so mid-slice slowdown changes take effect at the next
+            # slice boundary and the accounting stays exact; at the
+            # nominal rate the arithmetic below is bit-identical to the
+            # un-multiplied original.
+            rate = self._slowdown
             try:
-                yield env.timeout(slice_)
+                yield env.timeout(slice_ if rate == 1.0 else slice_ * rate)
             except Interrupt as interrupt:
-                txn.remaining -= env.now - started
+                elapsed = env.now - started
+                txn.remaining -= (elapsed if rate == 1.0
+                                  else elapsed / rate)
                 if self._probe is not None:
                     self._probe.cpu_slice(started, env.now, txn)
                 action = self._handle_interrupt(txn, interrupt.cause)
@@ -474,12 +496,19 @@ class DatabaseServer:
             query.staleness = self._measure_staleness(query, now)
             qos, qod = query.qc.evaluate(query.response_time(),
                                          query.staleness)
+            if query.degraded:
+                # Brownout answers skip freshness work: the QoD half of
+                # the contract is forfeited, whatever the staleness
+                # metric says (the QoS half is what brownout saves).
+                qod = 0.0
             query.qos_profit = qos
             query.qod_profit = qod
             self.ledger.on_query_committed(query, now)
             self.scheduler.notify_query_finished(query)
             self._observe("query_committed", query,
                           profit=query.total_profit)
+            if self.query_outcome_hook is not None:
+                self.query_outcome_hook(query, True)
         else:
             update = typing.cast(Update, txn)
             self.database.apply_update(update, now)
@@ -510,6 +539,8 @@ class DatabaseServer:
         self._observe("query_dropped", query)
         if self._probe is not None:
             self._probe.expire(self.env.now, query)
+        if self.query_outcome_hook is not None:
+            self.query_outcome_hook(query, False)
         self._unblock_waiters()
 
     def _handle_restart(self, loser: Transaction) -> None:
@@ -534,6 +565,25 @@ class DatabaseServer:
                 self.scheduler.requeue(txn)
         if self._idle_wakeup is not None and not self._idle_wakeup.triggered:
             self._idle_wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    # Gray failure: service-rate degradation
+    # ------------------------------------------------------------------
+    @property
+    def slowdown(self) -> float:
+        return self._slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Stretch (or restore) the wall-clock cost of CPU work.
+
+        Takes effect at the next slice boundary; slices already in
+        flight finish at the rate they started with, which keeps the
+        work accounting exact and deterministic.
+        """
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be positive, "
+                             f"got {factor}")
+        self._slowdown = factor
 
     # ------------------------------------------------------------------
     # Fail-stop crash / recovery (driven by the portal / fault injector)
@@ -622,19 +672,28 @@ class DatabaseServer:
         self.database.clear()
         return lost
 
-    def restore_durable_state(self) -> tuple[Checkpoint | None, int]:
-        """Rebuild the store from the last checkpoint plus the durable
-        WAL tail; returns (checkpoint, records replayed).  Corrupted
-        records raise :class:`~repro.sim.invariants.InvariantViolation`.
+    def restore_durable_state(self) -> tuple[
+            Checkpoint | None, int, list[WalRecord]]:
+        """Rebuild the store from the last checkpoint plus the *verified*
+        durable WAL tail; returns ``(checkpoint, records replayed,
+        records refused)``.
+
+        Silent corruption is survived, not fatal: the CRC scan truncates
+        the replay at the first record that fails verification — that
+        record and everything after it (the LSN chain past a torn record
+        is untrustworthy) come back in the third slot for the caller to
+        re-sync from a healthy peer or the durable source.  Strict
+        raise-on-corruption reads remain available via
+        :meth:`~repro.db.wal.WriteAheadLog.recover`.
         """
         if self.wal is None:
-            return None, 0
-        checkpoint, tail = self.wal.recover()
+            return None, 0, []
+        checkpoint, tail, refused = self.wal.recover_verified()
         if checkpoint is not None:
             self.database.restore(checkpoint.items)
         for record in tail:
             self.database.replay_applied(record)
-        return checkpoint, len(tail)
+        return checkpoint, len(tail), refused
 
     # ------------------------------------------------------------------
     # End-of-run accounting

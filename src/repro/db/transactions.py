@@ -152,7 +152,7 @@ class Query(Transaction):
     """
 
     __slots__ = ("items", "qc", "lifetime_deadline", "staleness",
-                 "qos_profit", "qod_profit")
+                 "qos_profit", "qod_profit", "degraded")
 
     def __init__(self, arrival_time: float, exec_time: float,
                  items: typing.Sequence[str],
@@ -174,6 +174,29 @@ class Query(Transaction):
         #: Profit actually earned, filled in at commit / drop time.
         self.qos_profit = 0.0
         self.qod_profit = 0.0
+        #: Brownout flag: the answer will be served from possibly-stale
+        #: cached state at reduced cost; the QoD half of the contract is
+        #: forfeited at commit.  See :meth:`apply_brownout`.
+        self.degraded = False
+
+    def apply_brownout(self, factor: float) -> None:
+        """Degrade to a brownout answer: cheaper to serve, QoD forfeited.
+
+        Under overload a brownout admission policy admits the query but
+        scales its service demand by ``factor`` (skipping the freshness
+        work a full answer would do).  The contract stays in every
+        denominator — brownout trades the QoD half for keeping the QoS
+        half alive, it never hides the contract.  Idempotent; must be
+        applied before the query first reaches a CPU.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(
+                f"brownout factor must be in (0, 1], got {factor}")
+        if self.degraded:
+            return
+        self.degraded = True
+        self.exec_time = self.exec_time * factor
+        self.remaining = self.exec_time
 
     def __repr__(self) -> str:
         return (f"<Query #{self.txn_id} items={self.items!r} "

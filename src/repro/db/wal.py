@@ -189,6 +189,26 @@ class WriteAheadLog:
                     f"mismatch — refusing to replay a damaged log")
         return checkpoint, tail
 
+    def recover_verified(self) -> tuple[
+            Checkpoint | None, list[WalRecord], list[WalRecord]]:
+        """Corruption-tolerant variant of :meth:`recover`.
+
+        Returns ``(checkpoint, replayable tail, refused suffix)``: the
+        CRC scan truncates at the *first* record that fails
+        verification, and that record plus everything after it is
+        refused wholesale — once the chain is torn, later records (even
+        individually well-formed ones) cannot be trusted to describe a
+        consistent history.  The caller re-syncs the refused items from
+        a healthy peer or the durable external source.
+        """
+        checkpoint = self._checkpoints[-1] if self._checkpoints else None
+        fence = checkpoint.last_lsn if checkpoint is not None else 0
+        tail = [r for r in self._durable if r.lsn > fence]
+        for position, record in enumerate(tail):
+            if not record.verify():
+                return checkpoint, tail[:position], tail[position:]
+        return checkpoint, tail, []
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -223,3 +243,19 @@ class WriteAheadLog:
         record = self._durable[-1]
         self._durable[-1] = dataclasses.replace(record,
                                                 value=record.value + delta)
+
+    def corrupt_tail(self, count: int = 1, delta: float = 1.0) -> int:
+        """Silently damage the newest ``count`` durable records (the
+        ``corrupt_wal`` fault kind).  Values are perturbed without
+        re-checksumming, so :meth:`recover`'s CRC scan catches them.
+        Returns how many records were actually damaged (0 when the
+        durable log is still empty — corruption of nothing is a no-op,
+        not an error, because fault schedules are sampled blindly)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        damaged = min(count, len(self._durable))
+        for offset in range(1, damaged + 1):
+            record = self._durable[-offset]
+            self._durable[-offset] = dataclasses.replace(
+                record, value=record.value + delta)
+        return damaged

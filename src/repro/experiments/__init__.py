@@ -3,6 +3,7 @@
 from .ablations import (ABLATIONS, ablation_invalidation,
                         ablation_low_level, ablation_preemption,
                         ablation_rho)
+from .chaos import CHAOS_POLICIES, CHAOS_REPLICAS, chaos_search
 from .config import (DEFAULT_SCALE, POLICY_NAMES, SCALES, ExperimentConfig,
                      chosen_scale, table4_grid, table4_rows)
 from .faults import (FAULT_MTTFS_MS, FAULT_MTTR_MS, FAULT_POLICIES,
@@ -20,6 +21,9 @@ from .tables import table3, table4
 
 __all__ = [
     "ABLATIONS",
+    "CHAOS_POLICIES",
+    "CHAOS_REPLICAS",
+    "chaos_search",
     "DEFAULT_SCALE",
     "ablation_invalidation",
     "ablation_low_level",

@@ -7,30 +7,60 @@ subpackage adds the failure half of the robustness story:
   (exponential MTTF/MTTR) schedules of replica crashes, update-source
   stalls, and query load spikes;
 * :class:`FaultInjector` — a simulation process replaying a plan against a
-  :class:`~repro.cluster.portal.ReplicatedPortal`.
+  :class:`~repro.cluster.portal.ReplicatedPortal`;
+* :class:`FaultIncident` / :func:`sample_incidents` /
+  :func:`expand_incidents` — the incident granularity the chaos harness
+  samples and shrinks (every subset of an incident list is a valid plan);
+* :func:`shrink_incidents` — delta-debugging a failing schedule down to
+  a minimal repro.
+
+The plan vocabulary covers fail-stop faults (crashes, portal outages,
+source stalls, load spikes) and **gray failures**: replica slowdowns
+(``slow_replica``), lossy broadcast windows (``drop_updates`` /
+``delay_updates`` / ``reorder_updates`` closed by ``heal_updates``), and
+silent WAL corruption (``corrupt_wal``).
 
 Degraded-operation machinery lives with the components it degrades:
-replica crash/recovery in :mod:`repro.cluster.portal`, failure-aware
-routing and failover in :mod:`repro.cluster`, overload shedding in
-:mod:`repro.db.admission`.
+replica crash/recovery, gray-failure windows, the failure detector and
+circuit breakers in :mod:`repro.cluster`, overload shedding and brownout
+in :mod:`repro.db.admission`.
 """
 
+from .incidents import (INCIDENT_KINDS, FaultIncident, expand_incidents,
+                        sample_incidents)
 from .injector import FaultInjector
-from .plan import (CRASH, KINDS, PORTAL_CRASH, PORTAL_RECOVER, RECOVER,
-                   RESUME_UPDATES, SPIKE_END, SPIKE_START, STALL_UPDATES,
-                   FaultEvent, FaultPlan)
+from .plan import (CORRUPT_WAL, CRASH, DELAY_UPDATES, DROP_UPDATES,
+                   HEAL_UPDATES, KINDS, PORTAL_CRASH, PORTAL_RECOVER,
+                   RECOVER, REORDER_UPDATES, RESTORE_REPLICA,
+                   RESUME_UPDATES, SLOW_REPLICA, SPIKE_END, SPIKE_START,
+                   STALL_UPDATES, WINDOW_KINDS, FaultEvent, FaultPlan)
+from .shrink import ShrinkResult, shrink_incidents
 
 __all__ = [
+    "CORRUPT_WAL",
     "CRASH",
+    "DELAY_UPDATES",
+    "DROP_UPDATES",
     "FaultEvent",
+    "FaultIncident",
     "FaultInjector",
     "FaultPlan",
+    "HEAL_UPDATES",
+    "INCIDENT_KINDS",
     "KINDS",
     "PORTAL_CRASH",
     "PORTAL_RECOVER",
     "RECOVER",
+    "REORDER_UPDATES",
+    "RESTORE_REPLICA",
     "RESUME_UPDATES",
+    "SLOW_REPLICA",
     "SPIKE_END",
     "SPIKE_START",
     "STALL_UPDATES",
+    "ShrinkResult",
+    "WINDOW_KINDS",
+    "expand_incidents",
+    "sample_incidents",
+    "shrink_incidents",
 ]

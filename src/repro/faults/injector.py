@@ -22,7 +22,19 @@ time order and, at each event's instant:
 * ``spike_start`` / ``spike_end`` — sets the query multiplier the runner
   consults: during a spike of magnitude *m*, each trace query is submitted
   *m* times (clones share the original's contract), modelling a flash
-  crowd on top of the recorded trace.
+  crowd on top of the recorded trace;
+* ``slow_replica`` / ``restore_replica`` — gray failure: the target
+  replica's service rate is divided by ``magnitude`` (CPU slices and
+  class-switch overheads stretch) without flipping its health bit;
+* ``drop_updates`` / ``delay_updates`` / ``reorder_updates`` /
+  ``heal_updates`` — a lossy broadcast window on one replica: updates
+  are silently withheld, delivered ``magnitude`` ms late, or shuffled;
+  the heal event closes the window and re-syncs whatever was lost (see
+  :meth:`~repro.cluster.portal.ReplicatedPortal.heal_updates`);
+* ``corrupt_wal`` — flips the newest ``magnitude`` durable WAL records
+  of the target replica without touching their checksums; the damage is
+  latent until the replica next restores, whose CRC scan truncates the
+  replay at the first bad record and read-repairs from a healthy peer.
 
 With an empty plan the injector does nothing and a run with it attached is
 bit-identical to a run without it (the determinism contract extends to
@@ -36,8 +48,10 @@ import typing
 from repro.sim import Environment, Event
 from repro.sim.process import ProcessGenerator
 
-from .plan import (CRASH, PORTAL_CRASH, PORTAL_RECOVER, RECOVER,
-                   RESUME_UPDATES, SPIKE_END, SPIKE_START, STALL_UPDATES,
+from .plan import (CORRUPT_WAL, CRASH, DELAY_UPDATES, DROP_UPDATES,
+                   HEAL_UPDATES, PORTAL_CRASH, PORTAL_RECOVER, RECOVER,
+                   REORDER_UPDATES, RESTORE_REPLICA, RESUME_UPDATES,
+                   SLOW_REPLICA, SPIKE_END, SPIKE_START, STALL_UPDATES,
                    FaultEvent, FaultPlan)
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -122,3 +136,19 @@ class FaultInjector:
             self._spike_multiplier = event.magnitude
         elif event.kind == SPIKE_END:
             self._spike_multiplier = 1.0
+        elif event.kind == SLOW_REPLICA:
+            self.portal.slow_replica(typing.cast(int, event.replica),
+                                     event.magnitude)
+        elif event.kind == RESTORE_REPLICA:
+            self.portal.restore_replica(typing.cast(int, event.replica))
+        elif event.kind in (DROP_UPDATES, DELAY_UPDATES, REORDER_UPDATES):
+            mode = {DROP_UPDATES: "drop", DELAY_UPDATES: "delay",
+                    REORDER_UPDATES: "reorder"}[event.kind]
+            self.portal.open_update_window(
+                typing.cast(int, event.replica), mode,
+                delay_ms=event.magnitude)
+        elif event.kind == HEAL_UPDATES:
+            self.portal.heal_updates(typing.cast(int, event.replica))
+        elif event.kind == CORRUPT_WAL:
+            self.portal.corrupt_wal(typing.cast(int, event.replica),
+                                    records=int(event.magnitude))

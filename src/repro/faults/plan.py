@@ -22,7 +22,7 @@ import typing
 
 from repro.sim.rng import RandomStream
 
-#: Event kinds understood by the injector.
+#: Event kinds understood by the injector — fail-stop set.
 CRASH = "crash"
 RECOVER = "recover"
 PORTAL_CRASH = "portal_crash"
@@ -32,11 +32,28 @@ RESUME_UPDATES = "resume_updates"
 SPIKE_START = "spike_start"
 SPIKE_END = "spike_end"
 
+#: Gray-failure kinds: the replica stays up but degrades.
+SLOW_REPLICA = "slow_replica"        #: service-rate multiplier on
+RESTORE_REPLICA = "restore_replica"  #: ... and back off
+DROP_UPDATES = "drop_updates"        #: broadcast link silently drops
+DELAY_UPDATES = "delay_updates"      #: broadcast link delivers late
+REORDER_UPDATES = "reorder_updates"  #: broadcast link shuffles
+HEAL_UPDATES = "heal_updates"        #: close any lossy window (re-sync)
+CORRUPT_WAL = "corrupt_wal"          #: flip bytes in durable WAL records
+
 KINDS = frozenset({CRASH, RECOVER, PORTAL_CRASH, PORTAL_RECOVER,
-                   STALL_UPDATES, RESUME_UPDATES, SPIKE_START, SPIKE_END})
+                   STALL_UPDATES, RESUME_UPDATES, SPIKE_START, SPIKE_END,
+                   SLOW_REPLICA, RESTORE_REPLICA, DROP_UPDATES,
+                   DELAY_UPDATES, REORDER_UPDATES, HEAL_UPDATES,
+                   CORRUPT_WAL})
 
 #: Kinds that name a target replica.
-REPLICA_KINDS = frozenset({CRASH, RECOVER})
+REPLICA_KINDS = frozenset({CRASH, RECOVER, SLOW_REPLICA, RESTORE_REPLICA,
+                           DROP_UPDATES, DELAY_UPDATES, REORDER_UPDATES,
+                           HEAL_UPDATES, CORRUPT_WAL})
+
+#: Kinds that open a lossy per-replica broadcast window.
+WINDOW_KINDS = frozenset({DROP_UPDATES, DELAY_UPDATES, REORDER_UPDATES})
 
 
 @dataclasses.dataclass(frozen=True, order=True)
@@ -69,6 +86,22 @@ class FaultEvent:
         if self.kind == SPIKE_START and self.magnitude < 1.0:
             raise ValueError(
                 f"spike magnitude must be >= 1, got {self.magnitude}")
+        if self.kind == SLOW_REPLICA and self.magnitude <= 1.0:
+            raise ValueError(
+                f"slowdown factor must be > 1, got {self.magnitude}")
+        if self.kind == DELAY_UPDATES and self.magnitude <= 0.0:
+            raise ValueError(
+                f"delay_updates needs a positive delay (ms) in "
+                f"magnitude, got {self.magnitude}")
+        if self.kind == CORRUPT_WAL and self.magnitude < 1.0:
+            raise ValueError(
+                f"corrupt_wal needs a record count >= 1 in magnitude, "
+                f"got {self.magnitude}")
+
+    def as_dict(self) -> dict[str, typing.Any]:
+        """JSON-ready row (chaos repro artifacts round-trip through it)."""
+        return {"at_ms": self.at_ms, "kind": self.kind,
+                "replica": self.replica, "magnitude": self.magnitude}
 
 
 class FaultPlan:
@@ -79,47 +112,74 @@ class FaultPlan:
             sorted(events, key=lambda e: (e.at_ms, e.kind)))
         self._validate()
 
-    def _validate(self) -> None:
-        """Reject schedules that cannot describe a fail-stop history.
+    #: What a replica-targeted kind does to the replica's condition:
+    #: ``(required_condition, resulting_condition)``.  A replica is in at
+    #: most one abnormal condition at a time — crash, slowdown, and lossy
+    #: windows are mutually exclusive per replica (one incident at a
+    #: time), which is also what the sampler in
+    #: :mod:`repro.faults.incidents` guarantees by construction.
+    _TRANSITIONS: typing.ClassVar[dict[str, tuple[object, str | None]]] = {
+        CRASH: (None, "down"),
+        RECOVER: ("down", None),
+        SLOW_REPLICA: (None, "slow"),
+        RESTORE_REPLICA: ("slow", None),
+        DROP_UPDATES: (None, "drop"),
+        DELAY_UPDATES: (None, "delay"),
+        REORDER_UPDATES: (None, "reorder"),
+    }
 
-        Walking the time-sorted events with per-replica health state:
-        crashing an already-down replica, recovering a replica that never
-        crashed, double portal crashes, and portal recoveries without a
-        preceding portal crash are all plan bugs — injecting them would
-        silently no-op (the portal's lifecycle hooks are idempotent) and
-        make the plan lie about the outage history it encodes.  Replica
-        events inside a portal-wide outage are rejected for the same
-        reason: the portal crash already owns every replica's state.
+    def _validate(self) -> None:
+        """Reject schedules that cannot describe a real fault history.
+
+        Walking the time-sorted events with a per-replica *condition*
+        (``None`` healthy, else one of ``down`` / ``slow`` / ``drop`` /
+        ``delay`` / ``reorder``): crashing an already-down replica,
+        healing a window that is not open, restoring a replica that is
+        not slowed, double portal crashes, and portal recoveries without
+        a preceding portal crash are all plan bugs — injecting them
+        would silently no-op (the portal's lifecycle hooks are
+        idempotent) and make the plan lie about the history it encodes.
+        Conditions are mutually exclusive per replica: a plan wanting a
+        slow *and* lossy replica expresses that with back-to-back
+        incidents, not overlapping ones.  Replica events inside a
+        portal-wide outage are rejected (the portal crash owns every
+        replica's state and implicitly aborts open windows/slowdowns);
+        ``corrupt_wal`` is exempt — flipping bytes in the durable log is
+        legal at any time, including while its replica is down, and only
+        surfaces at the next recovery's CRC scan.
         """
-        down: set[int] = set()
+        condition: dict[int, str | None] = {}
         portal_down = False
         for event in self.events:
-            if event.kind == CRASH:
+            if event.kind in REPLICA_KINDS:
                 replica = typing.cast(int, event.replica)
+                if event.kind == CORRUPT_WAL:
+                    continue  # latent: no condition change, legal anywhere
                 if portal_down:
                     raise ValueError(
-                        f"invalid fault plan: crash of replica {replica} "
-                        f"at t={event.at_ms:g} falls inside a portal-wide "
-                        f"outage (every replica is already down)")
-                if replica in down:
-                    raise ValueError(
-                        f"invalid fault plan: replica {replica} is "
-                        f"crashed again at t={event.at_ms:g} while still "
-                        f"down (missing recover event?)")
-                down.add(replica)
-            elif event.kind == RECOVER:
-                replica = typing.cast(int, event.replica)
-                if portal_down:
-                    raise ValueError(
-                        f"invalid fault plan: recovery of replica "
+                        f"invalid fault plan: {event.kind!r} on replica "
                         f"{replica} at t={event.at_ms:g} falls inside a "
-                        f"portal-wide outage (use portal_recover)")
-                if replica not in down:
+                        f"portal-wide outage (the portal crash owns every "
+                        f"replica's state)")
+                if event.kind == HEAL_UPDATES:
+                    current = condition.get(replica)
+                    if current not in ("drop", "delay", "reorder"):
+                        raise ValueError(
+                            f"invalid fault plan: heal_updates on replica "
+                            f"{replica} at t={event.at_ms:g} but no lossy "
+                            f"window is open (condition: {current!r})")
+                    condition[replica] = None
+                    continue
+                required, resulting = self._TRANSITIONS[event.kind]
+                current = condition.get(replica)
+                if current != required:
                     raise ValueError(
-                        f"invalid fault plan: replica {replica} is "
-                        f"recovered at t={event.at_ms:g} without a prior "
-                        f"crash")
-                down.discard(replica)
+                        f"invalid fault plan: {event.kind!r} on replica "
+                        f"{replica} at t={event.at_ms:g} requires "
+                        f"condition {required!r} but the replica is in "
+                        f"{current!r} (conditions are exclusive — close "
+                        f"the open incident first)")
+                condition[replica] = resulting
             elif event.kind == PORTAL_CRASH:
                 if portal_down:
                     raise ValueError(
@@ -132,7 +192,9 @@ class FaultPlan:
                         f"invalid fault plan: portal recovery at "
                         f"t={event.at_ms:g} without a prior portal crash")
                 portal_down = False
-                down.clear()  # portal recovery brings every replica back
+                # Portal recovery brings every replica back healthy; the
+                # crash already aborted open windows and slowdowns.
+                condition.clear()
 
     def __len__(self) -> int:
         return len(self.events)
@@ -155,6 +217,19 @@ class FaultPlan:
     def merged(self, other: "FaultPlan") -> "FaultPlan":
         """A new plan combining both schedules."""
         return FaultPlan((*self.events, *other.events))
+
+    def as_dicts(self) -> list[dict[str, typing.Any]]:
+        """JSON-ready rows, time-sorted (repro artifacts embed these)."""
+        return [event.as_dict() for event in self.events]
+
+    @classmethod
+    def from_dicts(cls, rows: typing.Iterable[typing.Mapping[str, typing.Any]],
+                   ) -> "FaultPlan":
+        """Inverse of :meth:`as_dicts` (revalidates the schedule)."""
+        return cls(FaultEvent(at_ms=row["at_ms"], kind=row["kind"],
+                              replica=row.get("replica"),
+                              magnitude=row.get("magnitude", 1.0))
+                   for row in rows)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -206,6 +281,52 @@ class FaultPlan:
                 f"duration_ms must be positive, got {duration_ms}")
         return cls([FaultEvent(at_ms, SPIKE_START, magnitude=magnitude),
                     FaultEvent(at_ms + duration_ms, SPIKE_END)])
+
+    @classmethod
+    def slowdown(cls, replica: int, at_ms: float, duration_ms: float,
+                 factor: float = 4.0) -> "FaultPlan":
+        """Replica ``replica`` serves ``factor``x slower for a window."""
+        if duration_ms <= 0:
+            raise ValueError(
+                f"duration_ms must be positive, got {duration_ms}")
+        return cls([FaultEvent(at_ms, SLOW_REPLICA, replica=replica,
+                               magnitude=factor),
+                    FaultEvent(at_ms + duration_ms, RESTORE_REPLICA,
+                               replica=replica)])
+
+    @classmethod
+    def update_loss(cls, replica: int, at_ms: float, duration_ms: float,
+                    mode: str = DROP_UPDATES,
+                    delay_ms: float = 500.0) -> "FaultPlan":
+        """A lossy broadcast window on ``replica``: updates are dropped,
+        delayed by ``delay_ms``, or reordered until the healing event
+        ``duration_ms`` later (which re-syncs whatever the mode lost)."""
+        if duration_ms <= 0:
+            raise ValueError(
+                f"duration_ms must be positive, got {duration_ms}")
+        if mode not in WINDOW_KINDS:
+            raise ValueError(f"mode must be one of "
+                             f"{sorted(WINDOW_KINDS)}, got {mode!r}")
+        magnitude = delay_ms if mode == DELAY_UPDATES else 1.0
+        return cls([FaultEvent(at_ms, mode, replica=replica,
+                               magnitude=magnitude),
+                    FaultEvent(at_ms + duration_ms, HEAL_UPDATES,
+                               replica=replica)])
+
+    @classmethod
+    def wal_corruption(cls, replica: int, at_ms: float, down_ms: float,
+                       records: int = 1) -> "FaultPlan":
+        """Corrupt the newest ``records`` durable WAL records of
+        ``replica`` at ``at_ms``, then crash it so the corruption
+        surfaces at recovery (CRC scan → truncated replay + re-sync)."""
+        if records < 1:
+            raise ValueError(f"records must be >= 1, got {records}")
+        if down_ms <= 0:
+            raise ValueError(f"down_ms must be positive, got {down_ms}")
+        return cls([FaultEvent(at_ms, CORRUPT_WAL, replica=replica,
+                               magnitude=float(records)),
+                    FaultEvent(at_ms, CRASH, replica=replica),
+                    FaultEvent(at_ms + down_ms, RECOVER, replica=replica)])
 
     @classmethod
     def sample_mtbf(cls, rng: RandomStream, n_replicas: int,

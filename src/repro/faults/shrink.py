@@ -1,0 +1,120 @@
+"""Schedule shrinking: delta-debug a failing chaos schedule to a minimum.
+
+When the chaos harness finds a sampled incident schedule that makes an
+invariant fail, the raw schedule is a poor repro: most of its incidents
+are noise.  :func:`shrink_incidents` reduces it with the classic ddmin
+moves, re-running the oracle after every candidate reduction:
+
+1. **chunk removal** — try deleting halves, then quarters, ... then
+   single incidents; keep any deletion that still reproduces;
+2. **duration narrowing** — for each surviving incident, repeatedly try
+   halving its duration (a shorter window that still fails localises the
+   trigger in time).
+
+Subsets of an incident list always expand to valid plans (per-replica
+episodes stay disjoint under deletion — see
+:mod:`repro.faults.incidents`), so the search never wastes oracle runs
+on malformed candidates.  The whole procedure is deterministic: the
+move order is fixed, and the oracle itself is a deterministic
+simulation, so the same failing schedule always shrinks to the same
+minimal repro.
+
+The oracle (``reproduces``) is arbitrary — the chaos harness passes "run
+the full simulation under this incident list and see whether the
+invariant still fails".  Oracle runs are budgeted via ``max_checks``:
+shrinking is best-effort and stops improving when the budget runs out
+(the current smallest failing schedule is returned).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from .incidents import FaultIncident
+
+Oracle = typing.Callable[[typing.Sequence[FaultIncident]], bool]
+
+
+@dataclasses.dataclass
+class ShrinkResult:
+    """Outcome of a shrink: the minimal schedule plus search statistics."""
+
+    incidents: list[FaultIncident]
+    checks: int
+    removed: int
+    narrowed: int
+    exhausted: bool  # True when the budget ran out mid-search
+
+
+def shrink_incidents(incidents: typing.Sequence[FaultIncident],
+                     reproduces: Oracle,
+                     max_checks: int = 64) -> ShrinkResult:
+    """Reduce a failing incident schedule to a (1-)minimal one.
+
+    ``reproduces(candidate)`` must return True when the candidate
+    schedule still triggers the failure.  The input schedule itself is
+    assumed to reproduce (the caller just observed it fail); it is never
+    re-checked.
+    """
+    if max_checks < 1:
+        raise ValueError(f"max_checks must be >= 1, got {max_checks}")
+    current = list(incidents)
+    checks = 0
+    removed = 0
+    narrowed = 0
+    exhausted = False
+
+    def try_candidate(candidate: list[FaultIncident]) -> bool:
+        nonlocal checks, exhausted
+        if checks >= max_checks:
+            exhausted = True
+            return False
+        checks += 1
+        return reproduces(candidate)
+
+    # Phase 1: ddmin chunk removal.  Granularity starts at halves and
+    # refines toward single incidents; any successful deletion restarts
+    # the pass at the same granularity on the smaller schedule.
+    granularity = 2
+    while len(current) >= 2 and not exhausted:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk:]
+            if candidate and try_candidate(candidate):
+                removed += len(current) - len(candidate)
+                current = candidate
+                reduced = True
+                # Stay at this granularity; re-scan from the start.
+                start = 0
+                chunk = max(1, len(current) // granularity)
+                continue
+            if exhausted:
+                break
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break  # 1-minimal w.r.t. deletion
+            granularity = min(len(current), granularity * 2)
+
+    # Phase 2: narrow the survivors' durations (halving, a few rounds).
+    for index in range(len(current)):
+        if exhausted:
+            break
+        for _ in range(4):
+            incident = current[index]
+            shorter = incident.duration_ms / 2.0
+            if shorter < 100.0:
+                break
+            candidate = list(current)
+            candidate[index] = dataclasses.replace(incident,
+                                                   duration_ms=shorter)
+            if not try_candidate(candidate):
+                break
+            current = candidate
+            narrowed += 1
+
+    return ShrinkResult(incidents=current, checks=checks, removed=removed,
+                        narrowed=narrowed, exhausted=exhausted)

@@ -52,11 +52,16 @@ class Scheduler:
         self.probe = probe
 
     def _trace_depths(self) -> None:
-        """Emit queue-depth counter samples (callers guard ``probe``)."""
+        """Emit queue-depth counter samples (callers guard ``probe``).
+
+        The gate runs first so a sampled-out snapshot skips the depth
+        computation (and the ``env.now`` property) entirely.
+        """
         probe = self.probe
-        if probe is not None and self.env is not None:
-            probe.queue_depths(self.env.now, self.pending_queries(),
-                               self.pending_updates())
+        if probe is not None and self.env is not None \
+                and probe.wants_depths():
+            probe.record_depths(self.env.now, self.pending_queries(),
+                                self.pending_updates())
 
     # ------------------------------------------------------------------
     # Queue management

@@ -163,9 +163,10 @@ class Environment:
         observer = self.telemetry
         try:
             if observer is not None:
+                on_event = observer.on_event  # bind once, not per event
                 while queue:
                     self._now, _, _, event = heappop(queue)
-                    observer.on_event(event)
+                    on_event(event)
                     callbacks = event.callbacks
                     event.callbacks = None  # mark processed
                     for callback in callbacks:  # type: ignore[union-attr]

@@ -128,6 +128,17 @@ class InvariantMonitor:
             self._track(kind, txn_id)
         if kind == "query_committed":
             self.profit_credited += data.get("profit", 0.0)
+        elif kind == "gap_healed":
+            # Re-sync completeness: healing a lossy update window must
+            # re-deliver exactly what the window withheld.  This is the
+            # law the chaos harness's planted-bug meta-test breaks.
+            dropped = data.get("dropped", 0)
+            resynced = data.get("resynced", 0)
+            if resynced != dropped:
+                self._fail(
+                    f"incomplete gap re-sync on replica "
+                    f"{data.get('replica')}: window dropped {dropped} "
+                    f"update(s) but the heal re-delivered {resynced}")
 
     def _track(self, kind: str, txn_id: int) -> None:
         state = self._ledger.get(txn_id)

@@ -111,6 +111,9 @@ class TimeSeries:
         self.offered = 0
         #: Current decimation stride: every ``stride``-th offer is kept.
         self.stride = 1
+        #: Last appended time — the monotonicity guard compares against
+        #: this float instead of indexing the list on every record.
+        self._last = float("-inf")
 
     def __len__(self) -> int:
         return len(self.times)
@@ -119,9 +122,10 @@ class TimeSeries:
         return f"<TimeSeries {self.name!r} n={len(self)}>"
 
     def record(self, time: float, value: float) -> None:
-        if self.times and time < self.times[-1]:
+        if time < self._last:
             raise ValueError(
-                f"time {time} precedes last recorded time {self.times[-1]}")
+                f"time {time} precedes last recorded time {self._last}")
+        self._last = time
         offer = self.offered
         self.offered = offer + 1
         if self.max_points is not None:

@@ -85,6 +85,14 @@ CLUSTER_ADOPT = "adopt"            #: a failed-over query found a new home
 CLUSTER_REPLAY = "replay"          #: missed updates replayed at recovery
 CLUSTER_CHECKPOINT = "checkpoint"  #: a crash-consistent snapshot was taken
 
+# Gray-failure vocabulary (still category "cluster"):
+CLUSTER_SLOW = "slow"              #: a replica's service rate changed
+CLUSTER_GAP = "gap"                #: a broadcast sequence gap was detected
+CLUSTER_WINDOW = "loss_window"     #: a lossy update window opened
+CLUSTER_HEAL = "heal"              #: a lossy window closed + re-sync ran
+CLUSTER_BREAKER = "breaker"        #: a circuit breaker changed state
+CLUSTER_WAL_CORRUPT = "wal_corrupt"  #: recovery refused a damaged WAL tail
+
 #: Args payload type: small, JSON-serialisable mappings only.
 Args = typing.Optional[typing.Dict[str, typing.Any]]
 

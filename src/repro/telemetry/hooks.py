@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import typing
 
-from repro.sim.events import Event, event_kind
+from repro.sim.events import Event
 
 from . import events as ev
 from .registry import MetricsRegistry, ScopedRegistry
@@ -100,7 +100,9 @@ def _txn_kind(txn: "Transaction") -> str:
 class ServerProbe:
     """Transaction lifecycle + CPU occupancy for one database server."""
 
-    __slots__ = ("tracer", "metrics", "scope", "_lifecycle", "_cpu")
+    __slots__ = ("tracer", "metrics", "scope", "_lifecycle", "_cpu",
+                 "_counters", "_h_response", "_h_staleness", "_h_slice",
+                 "_gate_txn", "_gate_sched")
 
     def __init__(self, tracer: Tracer, metrics: ScopedRegistry,
                  scope: str) -> None:
@@ -109,17 +111,50 @@ class ServerProbe:
         self.scope = scope
         self._lifecycle = f"{scope}/lifecycle"
         self._cpu = f"{scope}/cpu"
+        #: Bound ``Counter.increment`` methods keyed by event name.  The
+        #: lifecycle path fires per transaction per transition; caching
+        #: skips the f-string build, the registry dict probe, and the
+        #: attribute lookup on the hot path.
+        self._counters: dict[str, typing.Any] = {}
+        # Histogram handles, lazily resolved like the counters above.
+        self._h_response = None
+        self._h_staleness = None
+        self._h_slice = None
+        # Bound per-category gates (see Tracer.gater): the lifecycle
+        # hooks fire several times per transaction, so the membership
+        # and stride lookups are resolved once here.
+        self._gate_txn = tracer.gater(ev.CAT_TXN)
+        self._gate_sched = tracer.gater(ev.CAT_SCHED)
 
     # -- lifecycle instants --------------------------------------------
+    def _count(self, name: str) -> None:
+        """Exact lifecycle counters — never sampled (they must match
+        the ledger bit-for-bit; only trace *records* are sampled)."""
+        increment = self._counters.get(name)
+        if increment is None:
+            increment = self.metrics.counter(f"txn/{name}").increment
+            self._counters[name] = increment
+        increment()
+
     def _mark(self, now: float, name: str, txn: "Transaction",
               args: dict[str, typing.Any] | None = None) -> None:
-        self.tracer.instant(now, ev.CAT_TXN, name, self._lifecycle,
-                            txn.txn_id, args)
-        self.metrics.counter(f"txn/{name}").increment()
+        if self._gate_txn():
+            self.tracer.emit_instant(now, ev.CAT_TXN, name,
+                                     self._lifecycle, txn.txn_id, args)
+        # _count() inlined — this is the hottest lifecycle path.
+        increment = self._counters.get(name)
+        if increment is None:
+            increment = self.metrics.counter(f"txn/{name}").increment
+            self._counters[name] = increment
+        increment()
 
     def arrive(self, now: float, txn: "Transaction") -> None:
-        self._mark(now, ev.TXN_ARRIVE, txn,
-                   {"kind": _txn_kind(txn), "exec_ms": txn.exec_time})
+        if self._gate_txn():
+            self.tracer.emit_instant(now, ev.CAT_TXN, ev.TXN_ARRIVE,
+                                     self._lifecycle, txn.txn_id,
+                                     {"kind": _txn_kind(txn),
+                                      "exec_ms": txn.exec_time})
+        self._count(ev.TXN_ARRIVE)
 
     def queued(self, now: float, txn: "Transaction") -> None:
         self._mark(now, ev.TXN_QUEUE, txn)
@@ -133,10 +168,16 @@ class ServerProbe:
 
     def preempt(self, now: float, txn: "Transaction",
                 by: "Transaction") -> None:
-        self._mark(now, ev.TXN_PREEMPT, txn, {"by": by.txn_id})
-        self.tracer.instant(now, ev.CAT_SCHED, ev.SCHED_PREEMPTION,
-                            f"{self.scope}/sched", txn.txn_id,
-                            {"by": by.txn_id})
+        if self._gate_txn():
+            self.tracer.emit_instant(now, ev.CAT_TXN, ev.TXN_PREEMPT,
+                                     self._lifecycle, txn.txn_id,
+                                     {"by": by.txn_id})
+        self._count(ev.TXN_PREEMPT)
+        if self._gate_sched():
+            self.tracer.emit_instant(now, ev.CAT_SCHED,
+                                     ev.SCHED_PREEMPTION,
+                                     f"{self.scope}/sched", txn.txn_id,
+                                     {"by": by.txn_id})
 
     def suspend(self, now: float, txn: "Transaction") -> None:
         self._mark(now, ev.TXN_SUSPEND, txn)
@@ -148,25 +189,43 @@ class ServerProbe:
         self._mark(now, ev.TXN_RESTART, txn)
 
     def commit(self, now: float, txn: "Transaction") -> None:
-        args: dict[str, typing.Any] = {"kind": _txn_kind(txn)}
+        # Histograms are exact (never sampled); the args dict is only
+        # built when the stride gate keeps this record.
         if txn.is_query:
             query = typing.cast("Query", txn)
-            response = query.response_time()
-            args["rt_ms"] = response
-            args["staleness"] = query.staleness
-            args["profit"] = query.total_profit
-            self.metrics.histogram("txn/response_time_ms").observe(response)
+            hist = self._h_response
+            if hist is None:
+                hist = self._h_response = self.metrics.histogram(
+                    "txn/response_time_ms")
+            hist.observe(query.response_time())
             if query.staleness is not None:
-                self.metrics.histogram("txn/staleness").observe(
-                    query.staleness)
-        self._mark(now, ev.TXN_COMMIT, txn, args)
+                hist = self._h_staleness
+                if hist is None:
+                    hist = self._h_staleness = self.metrics.histogram(
+                        "txn/staleness")
+                hist.observe(query.staleness)
+        if self._gate_txn():
+            tracer = self.tracer
+            args: dict[str, typing.Any] = {"kind": _txn_kind(txn)}
+            if txn.is_query:
+                query = typing.cast("Query", txn)
+                args["rt_ms"] = query.response_time()
+                args["staleness"] = query.staleness
+                args["profit"] = query.total_profit
+            tracer.emit_instant(now, ev.CAT_TXN, ev.TXN_COMMIT,
+                                self._lifecycle, txn.txn_id, args)
+        self._count(ev.TXN_COMMIT)
 
     def expire(self, now: float, txn: "Transaction") -> None:
         self._mark(now, ev.TXN_EXPIRE, txn)
 
     def supersede(self, now: float, txn: "Transaction",
                   by: "Transaction") -> None:
-        self._mark(now, ev.TXN_SUPERSEDE, txn, {"by": by.txn_id})
+        if self._gate_txn():
+            self.tracer.emit_instant(now, ev.CAT_TXN, ev.TXN_SUPERSEDE,
+                                     self._lifecycle, txn.txn_id,
+                                     {"by": by.txn_id})
+        self._count(ev.TXN_SUPERSEDE)
 
     def unfinished(self, now: float, txn: "Transaction") -> None:
         self._mark(now, ev.TXN_UNFINISHED, txn)
@@ -176,9 +235,14 @@ class ServerProbe:
                   txn: "Transaction") -> None:
         if end <= start:
             return  # zero-length slice (e.g. interrupted at dispatch)
-        self.tracer.span(start, end - start, ev.CAT_TXN, _txn_kind(txn),
-                         self._cpu, txn.txn_id, {"id": txn.txn_id})
-        self.metrics.histogram("cpu/slice_ms").observe(end - start)
+        if self._gate_txn():
+            self.tracer.emit_span(start, end - start, ev.CAT_TXN,
+                                  _txn_kind(txn), self._cpu, txn.txn_id,
+                                  {"id": txn.txn_id})
+        hist = self._h_slice
+        if hist is None:
+            hist = self._h_slice = self.metrics.histogram("cpu/slice_ms")
+        hist.observe(end - start)
 
     def overhead(self, start: float, end: float) -> None:
         if end <= start:
@@ -191,7 +255,9 @@ class ServerProbe:
 class SchedulerProbe:
     """Scheduler internals: slot draws, ρ updates, queue depths."""
 
-    __slots__ = ("tracer", "metrics", "scope", "_sched", "_queues")
+    __slots__ = ("tracer", "metrics", "scope", "_sched", "_queues",
+                 "_draws", "_switches", "_rho_gauge", "_depth_gauges",
+                 "_gate_sched", "_sched_on")
 
     def __init__(self, tracer: Tracer, metrics: ScopedRegistry,
                  scope: str) -> None:
@@ -200,35 +266,102 @@ class SchedulerProbe:
         self.scope = scope
         self._sched = f"{scope}/sched"
         self._queues = f"{scope}/queues"
+        # Metric handles, resolved lazily on first use (so an idle probe
+        # registers nothing) and cached — the depth/ρ paths fire per
+        # scheduling decision and the registry lookup shows up in
+        # profiles.
+        self._draws = None
+        self._switches = None
+        self._rho_gauge = None
+        self._depth_gauges: tuple[typing.Any, typing.Any] | None = None
+        # Bound gate + membership flag, resolved once (see Tracer.gater).
+        self._gate_sched = tracer.gater(ev.CAT_SCHED)
+        self._sched_on = tracer.enabled_for(ev.CAT_SCHED)
 
     def quantum_draw(self, now: float, xi: float, state: str) -> None:
-        self.tracer.instant(now, ev.CAT_SCHED, ev.SCHED_QUANTUM_DRAW,
-                            self._sched, -1, {"xi": xi, "state": state})
-        self.metrics.counter("sched/quantum_draws").increment()
+        if self._gate_sched():
+            self.tracer.emit_instant(now, ev.CAT_SCHED,
+                                     ev.SCHED_QUANTUM_DRAW, self._sched,
+                                     -1, {"xi": xi, "state": state})
+        counter = self._draws
+        if counter is None:
+            counter = self._draws = self.metrics.counter(
+                "sched/quantum_draws")
+        counter.increment()
 
     def queue_switch(self, now: float, state: str) -> None:
-        self.tracer.instant(now, ev.CAT_SCHED, ev.SCHED_QUEUE_SWITCH,
-                            self._sched, -1, {"state": state})
-        self.metrics.counter("sched/queue_switches").increment()
+        if self._gate_sched():
+            self.tracer.emit_instant(now, ev.CAT_SCHED,
+                                     ev.SCHED_QUEUE_SWITCH, self._sched,
+                                     -1, {"state": state})
+        counter = self._switches
+        if counter is None:
+            counter = self._switches = self.metrics.counter(
+                "sched/queue_switches")
+        counter.increment()
 
     def rho_update(self, now: float, rho: float, qos_max: float,
                    qod_max: float) -> None:
-        self.tracer.instant(now, ev.CAT_SCHED, ev.SCHED_RHO_UPDATE,
-                            self._sched, -1,
-                            {"rho": rho, "qos_max": qos_max,
-                             "qod_max": qod_max})
-        self.tracer.counter(now, ev.CAT_SCHED, "rho", self._sched, rho)
-        self.metrics.gauge("sched/rho").record(now, rho)
+        tracer = self.tracer
+        # One gate for the ρ instant + counter pair: they describe the
+        # same observation, so sampling keeps or drops them together.
+        # The gauge time series rides the same stride — it is a
+        # monitoring view, not a ledger, so decimating it with the
+        # trace records is exactly what ``sample_rate`` promises
+        # (ledger counters and histograms stay exact).  With the
+        # category disabled outright the gauge keeps every point, as
+        # it always has.
+        if self._gate_sched():
+            tracer.emit_instant(now, ev.CAT_SCHED, ev.SCHED_RHO_UPDATE,
+                                self._sched, -1,
+                                {"rho": rho, "qos_max": qos_max,
+                                 "qod_max": qod_max})
+            tracer.emit_counter(now, ev.CAT_SCHED, "rho", self._sched,
+                                rho)
+        elif self._sched_on:
+            return  # sampled out: skip the gauge point on this stride
+        gauge = self._rho_gauge
+        if gauge is None:
+            gauge = self._rho_gauge = self.metrics.gauge("sched/rho")
+        gauge.record(now, rho)
+
+    def wants_depths(self) -> bool:
+        """One stride draw for the next queue-depth snapshot.
+
+        False means this snapshot is sampled out and the caller can skip
+        computing the depths entirely — the scheduler's ``len()`` sums
+        fire per decision, so skipping them is part of the sampling win.
+        A True consumes the stride slot; follow it with exactly one
+        :meth:`record_depths`.
+        """
+        return self._gate_sched() or not self._sched_on
+
+    def record_depths(self, now: float, queries: int,
+                      updates: int) -> None:
+        """Emit one pre-gated depth snapshot (see :meth:`wants_depths`).
+
+        The two counters are a single snapshot of the scheduler's
+        queues, kept or dropped together; the gauge time series rides
+        the same stride (decimation rule as :meth:`rho_update`).
+        """
+        if self._sched_on:
+            tracer = self.tracer
+            tracer.emit_counter(now, ev.CAT_SCHED, "queue_depth_queries",
+                                self._queues, queries)
+            tracer.emit_counter(now, ev.CAT_SCHED, "queue_depth_updates",
+                                self._queues, updates)
+        gauges = self._depth_gauges
+        if gauges is None:
+            gauges = self._depth_gauges = (
+                self.metrics.gauge("sched/queue_depth_queries").record,
+                self.metrics.gauge("sched/queue_depth_updates").record)
+        gauges[0](now, queries)
+        gauges[1](now, updates)
 
     def queue_depths(self, now: float, queries: int,
                      updates: int) -> None:
-        tracer = self.tracer
-        tracer.counter(now, ev.CAT_SCHED, "queue_depth_queries",
-                       self._queues, queries)
-        tracer.counter(now, ev.CAT_SCHED, "queue_depth_updates",
-                       self._queues, updates)
-        self.metrics.gauge("sched/queue_depth_queries").record(now, queries)
-        self.metrics.gauge("sched/queue_depth_updates").record(now, updates)
+        if self.wants_depths():
+            self.record_depths(now, queries, updates)
 
 
 class ClusterProbe:
@@ -278,25 +411,66 @@ class ClusterProbe:
     def checkpoint(self, now: float, replica: int) -> None:
         self._mark(now, ev.CLUSTER_CHECKPOINT, -1, {"replica": replica})
 
+    # -- gray failures -------------------------------------------------
+    def slow(self, now: float, replica: int, factor: float) -> None:
+        self._mark(now, ev.CLUSTER_SLOW, -1,
+                   {"replica": replica, "factor": factor})
+
+    def gap(self, now: float, replica: int, missed: int,
+            out_of_order: bool) -> None:
+        self._mark(now, ev.CLUSTER_GAP, -1,
+                   {"replica": replica, "missed": missed,
+                    "out_of_order": out_of_order})
+
+    def window(self, now: float, replica: int, mode: str) -> None:
+        self._mark(now, ev.CLUSTER_WINDOW, -1,
+                   {"replica": replica, "mode": mode})
+
+    def heal(self, now: float, replica: int, mode: str,
+             resynced: int) -> None:
+        self._mark(now, ev.CLUSTER_HEAL, -1,
+                   {"replica": replica, "mode": mode,
+                    "resynced": resynced})
+
+    def breaker(self, now: float, replica: int, state: str) -> None:
+        self._mark(now, ev.CLUSTER_BREAKER, -1,
+                   {"replica": replica, "state": state})
+
+    def corrupt(self, now: float, replica: int, records: int) -> None:
+        self._mark(now, ev.CLUSTER_WAL_CORRUPT, -1,
+                   {"replica": replica, "records": records})
+
 
 class KernelProbe:
     """Per-kind event counts from the instrumented kernel loop.
 
     The loop calls :meth:`on_event` once per processed event; counts
-    live in a plain dict (the cheapest thing that works at the loop's
-    rate) and are folded into the registry by :meth:`flush` after the
-    run.  Satisfies :class:`repro.sim.environment.EventObserver`.
+    are keyed by event *class* (one dict operation per event — the kind
+    name is a pure function of the class, so translating via
+    :func:`event_kind` waits until :meth:`flush` folds the totals into
+    the registry after the run).  Satisfies
+    :class:`repro.sim.environment.EventObserver`.
     """
 
-    __slots__ = ("metrics", "counts")
+    __slots__ = ("metrics", "_by_class")
 
     def __init__(self, metrics: ScopedRegistry) -> None:
         self.metrics = metrics
-        self.counts: dict[str, int] = {}
+        self._by_class: dict[type, int] = {}
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Per-kind totals (classes sharing a kind name are summed)."""
+        counts: dict[str, int] = {}
+        for cls, count in self._by_class.items():
+            kind = cls.__name__.lower()  # event_kind(), sans instance
+            counts[kind] = counts.get(kind, 0) + count
+        return counts
 
     def on_event(self, event: Event) -> None:
-        kind = event_kind(event)
-        self.counts[kind] = self.counts.get(kind, 0) + 1
+        by_class = self._by_class
+        cls = type(event)
+        by_class[cls] = by_class.get(cls, 0) + 1
 
     def flush(self) -> None:
         for kind, count in sorted(self.counts.items()):

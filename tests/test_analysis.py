@@ -474,3 +474,62 @@ class TestSelfRun:
         code = main(paths + ["--root", str(REPO_ROOT)])
         out = capsys.readouterr().out
         assert code == EXIT_CLEAN, f"simlint findings:\n{out}"
+
+
+class TestAmbientEntropy:
+    def test_fires_on_os_urandom(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import os
+            token = os.urandom(8)
+            """, select=["no-ambient-entropy"])
+        assert rule_ids(findings) == ["no-ambient-entropy"]
+        assert findings[0].line == 2
+
+    def test_fires_on_uuid4(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import uuid
+            run_id = uuid.uuid4()
+            """, select=["no-ambient-entropy"])
+        assert rule_ids(findings) == ["no-ambient-entropy"]
+
+    def test_fires_on_from_import_of_entropy_source(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from os import urandom
+            token = urandom(8)
+            """, select=["no-ambient-entropy"])
+        assert "no-ambient-entropy" in rule_ids(findings)
+
+    def test_fires_on_secrets_import(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import secrets
+            """, select=["no-ambient-entropy"])
+        assert rule_ids(findings) == ["no-ambient-entropy"]
+
+    def test_quiet_on_seeded_streams_and_uuid5(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import uuid
+
+            from repro.sim.rng import StreamRegistry
+
+            rng = StreamRegistry(7).stream("chaos.schedule-0")
+            value = rng.uniform(0.5, 1.5)
+            stable = uuid.uuid5(uuid.NAMESPACE_URL, "repro")
+            """, select=["no-ambient-entropy"])
+        assert findings == []
+
+    def test_quiet_on_unrelated_urandom_attribute(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            class Fake:
+                def urandom(self, n):
+                    return b"x" * n
+
+            token = Fake().urandom(8)
+            """, select=["no-ambient-entropy"])
+        assert findings == []
+
+    def test_suppressible_inline(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import os
+            token = os.urandom(8)  # repro: lint-ignore[no-ambient-entropy]
+            """, select=["no-ambient-entropy"])
+        assert findings == []

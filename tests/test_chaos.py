@@ -1,0 +1,204 @@
+"""The chaos harness: incident sampling, shrinking, and the search loop.
+
+The harness is only useful if it is (a) deterministic — same master seed,
+same schedules, same verdicts, same artifact bytes — and (b) *able to
+see*: the planted-bug meta-test arms a deliberately broken heal re-sync
+and requires the invariant oracle to catch it and the shrinker to
+localise it to a minimal incident list.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cluster import portal as portal_module
+from repro.experiments.chaos import chaos_search
+from repro.experiments.config import ExperimentConfig
+from repro.faults import (CRASH, DELAY_UPDATES, DROP_UPDATES,
+                          INCIDENT_KINDS, SLOW_REPLICA, FaultIncident,
+                          FaultPlan, expand_incidents, sample_incidents,
+                          shrink_incidents)
+from repro.sim.rng import StreamRegistry
+
+HORIZON_MS = 60_000.0
+
+
+def sample(seed=5, n_replicas=3, horizon=HORIZON_MS, mean=4.0):
+    rng = StreamRegistry(seed).stream("chaos.schedule-0")
+    return sample_incidents(rng, n_replicas, horizon, mean_incidents=mean)
+
+
+# ---------------------------------------------------------------------------
+# FaultIncident + sampler
+# ---------------------------------------------------------------------------
+class TestFaultIncident:
+    def test_round_trips_through_dict(self):
+        incident = FaultIncident(SLOW_REPLICA, 1, 100.0, 500.0,
+                                 magnitude=4.0)
+        assert FaultIncident.from_dict(incident.as_dict()) == incident
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultIncident("meteor", 0, 0.0, 100.0)
+
+    def test_events_expand_to_valid_plans(self):
+        # Every kind individually expands into a plan the condition
+        # machine accepts.
+        for kind in INCIDENT_KINDS:
+            magnitude = {SLOW_REPLICA: 4.0, DELAY_UPDATES: 250.0}.get(
+                kind, 1.0)
+            incident = FaultIncident(kind, 0, 1_000.0, 2_000.0,
+                                     magnitude=magnitude)
+            plan = expand_incidents([incident])
+            assert isinstance(plan, FaultPlan)
+            assert len(plan) >= 1
+
+
+class TestSampler:
+    def test_deterministic_for_a_given_stream(self):
+        assert sample() == sample()
+
+    def test_different_seeds_differ(self):
+        assert sample(seed=5) != sample(seed=6)
+
+    def test_incidents_fit_horizon_and_cluster(self):
+        incidents = sample()
+        assert incidents, "sampler produced an empty schedule"
+        for incident in incidents:
+            assert 0.0 <= incident.at_ms < HORIZON_MS
+            assert incident.end_ms <= HORIZON_MS
+            assert 0 <= incident.replica < 3
+            assert incident.kind in INCIDENT_KINDS
+
+    def test_per_replica_incidents_do_not_overlap(self):
+        incidents = sample(mean=8.0)
+        by_replica = {}
+        for incident in incidents:
+            by_replica.setdefault(incident.replica, []).append(incident)
+        for mine in by_replica.values():
+            mine.sort(key=lambda i: i.at_ms)
+            for earlier, later in zip(mine, mine[1:]):
+                assert earlier.end_ms <= later.at_ms
+
+    def test_any_subset_expands_to_a_valid_plan(self):
+        # Shrinking relies on this: incident granularity means every
+        # subset of a sampled schedule is itself a well-formed plan.
+        incidents = sample(mean=6.0)
+        for start in range(len(incidents)):
+            subset = incidents[start::2]
+            expand_incidents(subset)  # must not raise
+
+
+# ---------------------------------------------------------------------------
+# Shrinker
+# ---------------------------------------------------------------------------
+class TestShrinker:
+    def _schedule(self):
+        return [
+            FaultIncident(SLOW_REPLICA, 0, 1_000.0, 2_000.0, magnitude=4.0),
+            FaultIncident(DROP_UPDATES, 1, 2_000.0, 3_000.0),
+            FaultIncident(CRASH, 2, 5_000.0, 1_000.0),
+            FaultIncident(DROP_UPDATES, 0, 8_000.0, 2_000.0),
+            FaultIncident(SLOW_REPLICA, 2, 9_000.0, 1_500.0, magnitude=2.0),
+        ]
+
+    def test_shrinks_to_the_single_culprit(self):
+        culprit = self._schedule()[1]
+        result = shrink_incidents(
+            self._schedule(),
+            lambda candidate: culprit in candidate)
+        assert list(result.incidents) == [culprit]
+        assert result.removed == 4
+
+    def test_narrows_durations(self):
+        culprit = self._schedule()[3]
+        result = shrink_incidents(
+            self._schedule(),
+            lambda candidate: any(
+                i.kind == DROP_UPDATES and i.replica == 0
+                and i.duration_ms >= 100.0 for i in candidate))
+        assert len(result.incidents) == 1
+        assert result.incidents[0].duration_ms < culprit.duration_ms
+        assert result.narrowed > 0
+
+    def test_respects_oracle_budget(self):
+        calls = []
+        full = len(self._schedule())
+        result = shrink_incidents(
+            self._schedule(),
+            # Only the untouched schedule reproduces: no candidate ever
+            # succeeds, so every check burns budget.
+            lambda candidate: calls.append(1) or len(candidate) == full,
+            max_checks=5)
+        assert result.checks <= 5
+        assert len(calls) <= 5
+        assert result.exhausted
+
+    def test_pair_culprit_keeps_both(self):
+        schedule = self._schedule()
+        pair = (schedule[0], schedule[2])
+        result = shrink_incidents(
+            schedule,
+            lambda candidate: all(i in candidate for i in pair))
+        assert set(result.incidents) == set(pair)
+
+
+# ---------------------------------------------------------------------------
+# The search loop (short horizon keeps oracle runs cheap)
+# ---------------------------------------------------------------------------
+def search(tmp_path, **kwargs):
+    config = ExperimentConfig(scale="smoke", run_seed=3)
+    defaults = dict(seeds=2, policies=("QUTS",), n_replicas=2,
+                    horizon_ms=10_000.0, out_dir=tmp_path,
+                    shrink_budget=12, mean_incidents=2.0)
+    defaults.update(kwargs)
+    return chaos_search(config, **defaults)
+
+
+class TestChaosSearch:
+    def test_clean_runs_produce_no_artifacts(self, tmp_path):
+        rows = search(tmp_path)
+        assert len(rows) == 2  # 2 seeds x 1 policy
+        assert not any(row["failed"] for row in rows)
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_search_is_deterministic(self, tmp_path):
+        first = search(tmp_path / "a")
+        second = search(tmp_path / "b")
+        assert first == second
+
+    def test_planted_bug_is_caught_and_shrunk(self, tmp_path):
+        rows = search(tmp_path, planted_bug=True, seeds=1)
+        failing = [row for row in rows if row["failed"]]
+        assert failing, "the oracle missed the planted re-sync bug"
+        row = failing[0]
+        # The shrinker localised the failure to fewer incidents than
+        # the sampled schedule contained.
+        assert row["shrunk_incidents"] <= row["incidents"]
+        artifact = json.loads(
+            (tmp_path / "chaos_repro_seed0_QUTS.json").read_text())
+        assert artifact["schema"] == "repro.chaos/1"
+        assert "re-sync" in artifact["violation"] or \
+            "gap" in artifact["violation"]
+        # The shrunk plan must include a drop window — the only kind
+        # the planted bug can break.
+        kinds = {row["kind"] for row in artifact["fault_plan"]}
+        assert DROP_UPDATES in kinds
+        # The flag is restored even though the search armed it.
+        assert portal_module.PLANTED_RESYNC_BUG is False
+
+    def test_planted_bug_artifact_bytes_are_deterministic(self, tmp_path):
+        search(tmp_path / "a", planted_bug=True, seeds=1)
+        search(tmp_path / "b", planted_bug=True, seeds=1)
+        name = "chaos_repro_seed0_QUTS.json"
+        assert (tmp_path / "a" / name).read_bytes() == \
+            (tmp_path / "b" / name).read_bytes()
+
+    def test_shrunk_artifact_replays_to_the_same_violation(self, tmp_path):
+        search(tmp_path, planted_bug=True, seeds=1)
+        artifact = json.loads(
+            (tmp_path / "chaos_repro_seed0_QUTS.json").read_text())
+        # Round-trip the embedded plan; it must still validate.
+        plan = FaultPlan.from_dicts(artifact["fault_plan"])
+        assert len(plan) >= 1

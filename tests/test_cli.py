@@ -74,3 +74,38 @@ class TestMain:
     def test_export_unknown_figure_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["export", "--figures", "fig99", "--out", str(tmp_path)])
+
+
+class TestChaosCommand:
+    """``repro chaos`` dispatches before the experiment parser and owns
+    its own grammar + exit-code contract."""
+
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--help"])
+        assert excinfo.value.code == 0
+        assert "shrink" in capsys.readouterr().out
+
+    def test_no_policies_exits_two(self, capsys):
+        assert main(["chaos", "--policies", ""]) == 2
+        assert "no policies" in capsys.readouterr().out
+
+    def test_clean_search_exits_zero(self, tmp_path, capsys):
+        code = main(["chaos", "--seeds", "1", "--policies", "QUTS",
+                     "--scale", "smoke", "--horizon-ms", "6000",
+                     "--replicas", "2", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 failure(s)" in out
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_planted_bug_meta_run_exits_zero_when_caught(self, tmp_path,
+                                                         capsys):
+        code = main(["chaos", "--seeds", "1", "--policies", "QUTS",
+                     "--scale", "smoke", "--horizon-ms", "6000",
+                     "--replicas", "2", "--shrink-budget", "8",
+                     "--planted-bug", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "planted bug caught" in out
+        assert list(tmp_path.glob("chaos_repro_*.json"))

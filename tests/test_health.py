@@ -1,0 +1,168 @@
+"""Unit tests for the gray-failure defense layer: detector + breaker.
+
+The failure detector turns per-replica response times and broadcast
+gaps into a suspicion score on the simulated clock; the circuit breaker
+is a closed → open → half-open automaton with deterministic jittered
+probe backoff.  Both are pure observers of values handed in — no
+simulation kernel needed here.
+"""
+
+import pytest
+
+from repro.cluster import (CLOSED, HALF_OPEN, OPEN, CircuitBreaker,
+                           FailureDetector, HealthConfig)
+from repro.sim.rng import StreamRegistry
+
+
+def make_rng(name="test.breaker", seed=7):
+    return StreamRegistry(seed).stream(name)
+
+
+class TestHealthConfig:
+    def test_defaults_valid(self):
+        config = HealthConfig()
+        assert config.trip_suspicion > config.clear_suspicion
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HealthConfig(rt_alpha=0.0)
+        with pytest.raises(ValueError):
+            HealthConfig(trip_suspicion=0.5, clear_suspicion=0.6)
+        with pytest.raises(ValueError):
+            HealthConfig(open_ms=0.0)
+        with pytest.raises(ValueError):
+            HealthConfig(jitter=1.5)
+        with pytest.raises(ValueError):
+            HealthConfig(probe_backoff=0.5)
+
+
+class TestFailureDetector:
+    def test_uniform_cluster_is_unsuspicious(self):
+        detector = FailureDetector(3, HealthConfig())
+        for _ in range(20):
+            for replica in range(3):
+                detector.observe_response(replica, 10.0, 100.0)
+        for replica in range(3):
+            assert detector.suspicion(replica, 100.0) == pytest.approx(
+                0.0, abs=1e-9)
+
+    def test_slow_replica_becomes_suspicious(self):
+        detector = FailureDetector(3, HealthConfig())
+        for _ in range(50):
+            detector.observe_response(0, 40.0, 100.0)  # 4x the others
+            detector.observe_response(1, 10.0, 100.0)
+            detector.observe_response(2, 10.0, 100.0)
+        assert detector.suspicion(0, 100.0) > 1.0
+        assert detector.suspicion(1, 100.0) < 0.5
+
+    def test_gaps_raise_suspicion_and_decay(self):
+        config = HealthConfig(gap_halflife_ms=1_000.0)
+        detector = FailureDetector(2, config)
+        detector.observe_gap(0, missed=4, now=0.0)
+        fresh = detector.suspicion(0, 0.0)
+        assert fresh == pytest.approx(4 * config.gap_points)
+        halved = detector.suspicion(0, 1_000.0)
+        assert halved == pytest.approx(fresh / 2.0)
+        assert detector.suspicion(0, 20_000.0) < 1e-3
+
+    def test_failures_count_toward_suspicion(self):
+        config = HealthConfig()
+        detector = FailureDetector(2, config)
+        detector.observe_failure(1, now=50.0)
+        assert detector.suspicion(1, 50.0) == pytest.approx(
+            config.failure_points)
+        assert detector.suspicion(0, 50.0) == 0.0
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_routable(self):
+        breaker = CircuitBreaker(HealthConfig(), make_rng())
+        assert breaker.state == CLOSED
+        assert breaker.routable(0.0)
+
+    def test_trips_on_suspicion(self):
+        config = HealthConfig()
+        breaker = CircuitBreaker(config, make_rng())
+        breaker.observe(100.0, ok=True,
+                        suspicion=config.trip_suspicion + 0.1)
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.routable(100.0)
+
+    def test_open_admits_probe_after_jittered_backoff(self):
+        config = HealthConfig(open_ms=1_000.0, jitter=0.5)
+        breaker = CircuitBreaker(config, make_rng())
+        breaker.trip(0.0)
+        # retry_at is open_ms scaled by uniform(0.5, 1.5) jitter.
+        assert 500.0 <= breaker.retry_at <= 1_500.0
+        assert not breaker.routable(breaker.retry_at - 1.0)
+        assert breaker.routable(breaker.retry_at)
+        breaker.record_routed(breaker.retry_at)
+        assert breaker.state == HALF_OPEN
+        assert breaker.probes == 1
+        # Half-open admits only the one probe.
+        assert not breaker.routable(breaker.retry_at + 1.0)
+
+    def test_successful_probe_closes(self):
+        config = HealthConfig()
+        breaker = CircuitBreaker(config, make_rng())
+        breaker.trip(0.0)
+        breaker.record_routed(breaker.retry_at)
+        breaker.observe(breaker.retry_at + 10.0, ok=True, suspicion=0.0)
+        assert breaker.state == CLOSED
+        assert breaker.routable(breaker.retry_at + 10.0)
+
+    def test_failed_probe_reopens_with_longer_backoff(self):
+        config = HealthConfig(open_ms=1_000.0, probe_backoff=2.0,
+                              jitter=0.0)
+        breaker = CircuitBreaker(config, make_rng())
+        breaker.trip(0.0)
+        first_retry = breaker.retry_at
+        assert first_retry == pytest.approx(1_000.0)
+        breaker.record_routed(first_retry)
+        breaker.observe(first_retry, ok=False, suspicion=0.0)
+        assert breaker.state == OPEN
+        # Backoff doubled for the second open period.
+        assert breaker.retry_at == pytest.approx(first_retry + 2_000.0)
+
+    def test_backoff_capped_at_max_open_ms(self):
+        config = HealthConfig(open_ms=1_000.0, probe_backoff=4.0,
+                              max_open_ms=3_000.0, jitter=0.0)
+        breaker = CircuitBreaker(config, make_rng())
+        now = 0.0
+        for _ in range(4):
+            breaker.trip(now)
+            now = breaker.retry_at
+            breaker.record_routed(now)
+            breaker.observe(now, ok=False, suspicion=0.0)
+        assert breaker.retry_at - now <= 3_000.0 + 1e-9
+
+    def test_close_resets_backoff(self):
+        config = HealthConfig(open_ms=1_000.0, probe_backoff=2.0,
+                              jitter=0.0)
+        breaker = CircuitBreaker(config, make_rng())
+        breaker.trip(0.0)
+        breaker.record_routed(breaker.retry_at)
+        breaker.observe(breaker.retry_at, ok=True, suspicion=0.0)
+        assert breaker.state == CLOSED
+        breaker.trip(10_000.0)
+        # Fresh open period: back to the base backoff, not the doubled one.
+        assert breaker.retry_at - 10_000.0 == pytest.approx(1_000.0)
+
+    def test_deterministic_given_same_stream(self):
+        config = HealthConfig()
+        a = CircuitBreaker(config, make_rng(seed=13))
+        b = CircuitBreaker(config, make_rng(seed=13))
+        a.trip(0.0)
+        b.trip(0.0)
+        assert a.retry_at == b.retry_at
+
+    def test_note_suspicion_trips_closed_breaker_only(self):
+        config = HealthConfig()
+        breaker = CircuitBreaker(config, make_rng())
+        breaker.note_suspicion(0.0, config.trip_suspicion + 1.0)
+        assert breaker.state == OPEN
+        retry = breaker.retry_at
+        # While OPEN, more suspicion does not re-trip / extend.
+        breaker.note_suspicion(1.0, config.trip_suspicion + 5.0)
+        assert breaker.retry_at == retry

@@ -411,3 +411,78 @@ class TestSummaryAndCli:
 
 def _tick(env):
     yield env.timeout(1.0)
+
+
+# ----------------------------------------------------------------------
+# Per-category stride sampling (TelemetryConfig(sample_rate=...))
+# ----------------------------------------------------------------------
+class TestSampling:
+    def test_config_normalises_dict_to_sorted_pairs(self):
+        config = TelemetryConfig(sample_rate={CAT_TXN: 0.25,
+                                              CAT_SCHED: 0.5})
+        assert config.sample_rate == ((CAT_SCHED, 0.5), (CAT_TXN, 0.25))
+
+    def test_config_rejects_bad_rates_and_categories(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_rate={"nope": 0.5})
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_rate={CAT_TXN: 0.0})
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_rate={CAT_TXN: 1.5})
+
+    def test_stride_keeps_first_of_every_n(self):
+        tracer = Tracer(sample_rate=((CAT_TXN, 0.25),))
+        for i in range(8):
+            tracer.instant(float(i), CAT_TXN, "arrive", "t")
+        assert len(tracer.records()) == 2  # records 0 and 4
+        assert tracer.sampled == 6
+        assert [r.ts for r in tracer.records()] == [0.0, 4.0]
+
+    def test_unsampled_categories_keep_everything(self):
+        tracer = Tracer(sample_rate=((CAT_TXN, 0.1),))
+        for i in range(5):
+            tracer.instant(float(i), CAT_SCHED, "tick", "t")
+        assert len(tracer.records()) == 5
+        assert tracer.sampled == 0
+
+    def test_rate_one_is_a_noop(self):
+        tracer = Tracer(sample_rate=((CAT_TXN, 1.0),))
+        for i in range(5):
+            tracer.instant(float(i), CAT_TXN, "arrive", "t")
+        assert len(tracer.records()) == 5
+        assert tracer.sampled == 0
+
+    def test_sampling_counts_per_category_not_globally(self):
+        tracer = Tracer(sample_rate=((CAT_TXN, 0.5), (CAT_SCHED, 0.5)))
+        for i in range(4):
+            tracer.instant(float(i), CAT_TXN, "arrive", "t")
+            tracer.instant(float(i), CAT_SCHED, "tick", "t")
+        kept = tracer.records()
+        assert len([r for r in kept if r.category == CAT_TXN]) == 2
+        assert len([r for r in kept if r.category == CAT_SCHED]) == 2
+
+    def test_sampled_run_results_identical_to_unsampled(self, trace):
+        full = run_traced(trace)
+        sampled = run_traced(trace, sample_rate={CAT_TXN: 0.1,
+                                                 CAT_SCHED: 0.1})
+        assert sampled.total_percent == full.total_percent
+        assert sampled.qos_percent == full.qos_percent
+        assert sampled.qod_percent == full.qod_percent
+        assert sampled.mean_response_time == full.mean_response_time
+        assert sampled.counters == full.counters
+
+    def test_sampled_run_retains_fewer_records(self, trace):
+        full = run_traced(trace)
+        sampled = run_traced(trace, sample_rate={CAT_TXN: 0.1})
+        full_n = len(full.telemetry.tracer.records())
+        sampled_n = len(sampled.telemetry.tracer.records())
+        assert 0 < sampled_n < full_n
+        assert sampled.telemetry.tracer.sampled > 0
+
+    def test_sampling_is_deterministic(self, trace):
+        runs = [run_traced(trace, sample_rate={CAT_TXN: 0.2})
+                for __ in range(2)]
+        counts = [len(r.telemetry.tracer.records()) for r in runs]
+        assert counts[0] == counts[1]
+        assert runs[0].telemetry.tracer.sampled == \
+            runs[1].telemetry.tracer.sampled
