@@ -7,7 +7,9 @@ one table or figure, asserts its qualitative *shape* against the paper,
 and writes the reproduced rows to ``benchmarks/results/``.
 """
 
+import os
 import pathlib
+import platform
 
 import pytest
 
@@ -15,6 +17,20 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def host_metadata() -> dict:
+    """Machine context stamped into every benchmark JSON artifact.
+
+    Throughput and speedup numbers measured on a 2-core CI runner and a
+    32-core workstation are not comparable; the artifact must say which
+    one produced it.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,8 @@ so the performance trajectory across commits has data.
 """
 
 import json
-import platform
+
+from conftest import host_metadata
 
 from repro.experiments.runner import run_simulation
 from repro.qc.generator import QCFactory
@@ -26,11 +27,11 @@ def _record(results_dir, name: str, mean_s: float, rate: float,
     """Merge one measurement into the kernel-throughput JSON artifact."""
     path = results_dir / "kernel_throughput.json"
     payload = json.loads(path.read_text()) if path.exists() else {}
+    payload["host"] = host_metadata()
     payload[name] = {
         "mean_s": mean_s,
         "rate": rate,
         "rate_unit": rate_unit,
-        "python": platform.python_version(),
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 

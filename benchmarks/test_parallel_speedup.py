@@ -16,6 +16,8 @@ import os
 import pickle
 import time
 
+from conftest import host_metadata
+
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import _spectrum_tasks
 from repro.parallel import run_tasks
@@ -70,6 +72,7 @@ def test_parallel_speedup_fig8(results_dir):
         "speedup": round(speedup, 3),
         "bit_identical": True,
         "speedup_enforced": cores >= WORKERS,
+        "host": host_metadata(),
     }
     path = results_dir / "parallel_speedup.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -15,7 +15,7 @@ Besides the human-readable table, the sweep is saved as
 import json
 import math
 
-from conftest import run_once, save_report
+from conftest import host_metadata, run_once, save_report
 
 from repro.experiments.recovery import (RECOVERY_DOWN_MS, recovery_sweep)
 from repro.experiments.report import format_table
@@ -59,8 +59,9 @@ def test_checkpoints_bound_recovery_cost(benchmark, config, trace,
                                          "(portal down "
                                          f"{RECOVERY_DOWN_MS / 1000:.0f}"
                                          " s, 2 hedged replicas)"))
-    payload = [{k: ("inf" if isinstance(v, float) and math.isinf(v)
+    cleaned = [{k: ("inf" if isinstance(v, float) and math.isinf(v)
                     else v) for k, v in row.items()} for row in rows]
+    payload = {"host": host_metadata(), "rows": cleaned}
     path = results_dir / "recovery_rto.json"
     path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"[saved to {path}]")

@@ -21,7 +21,7 @@ Results land in ``benchmarks/results/gray_failure.json``.
 
 import json
 
-from conftest import run_once
+from conftest import host_metadata, run_once
 
 from repro.cluster import HealthConfig, HedgedRouter, run_cluster_simulation
 from repro.db.admission import BrownoutAdmission
@@ -97,6 +97,7 @@ def test_breaker_and_brownout_recover_profit(benchmark, config, trace,
         for name, result in arms.items()
     }
     payload = {
+        "host": host_metadata(),
         "scale": config.scale,
         "n_replicas": N_REPLICAS,
         "slow_factor": SLOW_FACTOR,

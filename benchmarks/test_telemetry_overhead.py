@@ -24,6 +24,8 @@ import pickle
 import statistics
 import time
 
+from conftest import host_metadata
+
 from repro.experiments.runner import run_simulation
 from repro.qc.generator import QCFactory
 from repro.scheduling import QUTSScheduler
@@ -122,6 +124,7 @@ def test_telemetry_overhead(results_dir):
 
     path = results_dir / "telemetry_overhead.json"
     path.write_text(json.dumps({
+        "host": host_metadata(),
         "rounds": ROUNDS,
         "trace_ms": TRACE_MS,
         "sample_rate": SAMPLE_RATE,

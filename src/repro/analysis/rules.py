@@ -57,6 +57,12 @@ class WallClockRule(Rule):
     summary = ("host clock read (time.time/perf_counter/datetime.now "
                "...); use the simulated clock Environment.now")
 
+    #: The one module allowed to touch the host clock: the live
+    #: gateway's clock abstraction.  Everything else in
+    #: ``src/repro/serve/`` must go through its MonotonicClock so the
+    #: serving stack stays testable against a ManualClock.
+    exempt = ("src/repro/serve/clock.py",)
+
     BANNED: typing.ClassVar[frozenset[str]] = frozenset({
         "time.time", "time.time_ns",
         "time.monotonic", "time.monotonic_ns",
@@ -68,11 +74,24 @@ class WallClockRule(Rule):
         "datetime.datetime.today", "datetime.date.today",
     })
 
+    def _flag(self, node: ast.AST, what: str) -> None:
+        assert self.module is not None
+        if self.module.relpath.startswith("src/repro/serve/"):
+            # The live serving stack has a legal clock — but only
+            # behind the abstraction in repro.serve.clock (the exempt
+            # module above); direct reads elsewhere defeat ManualClock
+            # testability.
+            self.report(node, f"{what} outside repro.serve.clock; the "
+                              f"serving stack must read time through "
+                              f"the gateway's MonotonicClock")
+            return
+        self.report(node, what)
+
     def visit_Attribute(self, node: ast.Attribute) -> None:
         assert self.module is not None
         target = self.module.imports.resolve(node)
         if target in self.BANNED:
-            self.report(node, f"reads the host clock via '{target}'")
+            self._flag(node, f"reads the host clock via '{target}'")
 
     def visit_Name(self, node: ast.Name) -> None:
         # Catches uses of `from time import perf_counter` style imports
@@ -82,16 +101,16 @@ class WallClockRule(Rule):
         assert self.module is not None
         target = self.module.imports.resolve(node)
         if target in self.BANNED:
-            self.report(node, f"reads the host clock via '{target}'")
+            self._flag(node, f"reads the host clock via '{target}'")
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.level or node.module is None:
             return
         for alias in node.names:
             if f"{node.module}.{alias.name}" in self.BANNED:
-                self.report(node,
-                            f"imports the host clock function "
-                            f"'{node.module}.{alias.name}'")
+                self._flag(node,
+                           f"imports the host clock function "
+                           f"'{node.module}.{alias.name}'")
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,9 @@ Examples::
     repro trace figures --fig 5 --out trace.json
                                # instrumented run -> Perfetto trace
     repro chaos --seeds 8      # chaos search; shrinks failing schedules
+    repro serve --policy QUTS  # live asyncio QC gateway (TCP front)
+    repro loadgen --multiplier 2.0
+                               # open-loop load harness -> JSON report
 """
 
 from __future__ import annotations
@@ -47,7 +50,10 @@ def build_parser() -> argparse.ArgumentParser:
                "(see 'repro trace --help'); "
                "'repro chaos [--seeds N]' searches sampled gray-failure "
                "schedules for invariant violations and shrinks failures "
-               "to minimal JSON repros (see 'repro chaos --help')")
+               "to minimal JSON repros (see 'repro chaos --help'); "
+               "'repro serve' runs the live asyncio QC gateway and "
+               "'repro loadgen' its open-loop load harness (see their "
+               "--help)")
     parser.add_argument("experiment", choices=EXPERIMENTS,
                         help="which table/figure to regenerate")
     parser.add_argument("--scale", default=None,
@@ -87,6 +93,14 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         # Same pattern: the chaos harness owns its own grammar.
         from repro.experiments.chaos import main as chaos_main
         return chaos_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        # Same pattern: the live gateway owns its own grammar.
+        from repro.serve.cli import serve_main
+        return serve_main(argv[1:])
+    if argv[:1] == ["loadgen"]:
+        # Same pattern: the open-loop load harness owns its own grammar.
+        from repro.serve.cli import loadgen_main
+        return loadgen_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig.from_env(args.scale, workers=args.workers)
     handler = _HANDLERS[args.experiment]

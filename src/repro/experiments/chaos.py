@@ -35,8 +35,10 @@ import typing
 
 from repro.cluster import HealthConfig, HedgedRouter, run_cluster_simulation
 from repro.db.wal import DurabilityConfig
-from repro.faults import (DROP_UPDATES, FaultIncident, expand_incidents,
-                          sample_incidents, shrink_incidents)
+from repro.faults import (DROP_UPDATES, FaultIncident, ShrinkResult,
+                          expand_incidents, sample_incidents,
+                          shrink_incidents)
+from repro.parallel import Task, run_tasks
 from repro.qc.generator import QCFactory
 from repro.scheduling import make_scheduler
 from repro.sim.invariants import InvariantViolation
@@ -81,6 +83,38 @@ def _verdict(policy: str, trace: Trace, n_replicas: int,
     return None
 
 
+def _chaos_cell(policy: str, trace: Trace, n_replicas: int,
+                incidents: typing.Sequence[FaultIncident], sim_seed: int,
+                health: HealthConfig, durability: DurabilityConfig,
+                planted_bug: bool, shrink_budget: int,
+                ) -> tuple[str | None, ShrinkResult | None]:
+    """One seed × policy cell: verdict, plus the shrink when it failed.
+
+    Module-level and picklable on both ends so :func:`chaos_search` can
+    fan the matrix out over a :mod:`repro.parallel` worker pool.  The
+    planted-bug flag is set (and restored) *inside* the cell because
+    that is the process the oracle actually runs in.
+    """
+    from repro.cluster import portal as portal_module
+    previous_flag = portal_module.PLANTED_RESYNC_BUG
+    if planted_bug:
+        portal_module.PLANTED_RESYNC_BUG = True
+    try:
+        violation = _verdict(policy, trace, n_replicas, incidents,
+                             sim_seed, health, durability)
+        if violation is None:
+            return None, None
+        result = shrink_incidents(
+            incidents,
+            lambda candidate: _verdict(
+                policy, trace, n_replicas, candidate,
+                sim_seed, health, durability) is not None,
+            max_checks=shrink_budget)
+        return violation, result
+    finally:
+        portal_module.PLANTED_RESYNC_BUG = previous_flag
+
+
 def chaos_search(config: ExperimentConfig, *,
                  seeds: int = 8,
                  policies: typing.Sequence[str] = CHAOS_POLICIES,
@@ -90,16 +124,24 @@ def chaos_search(config: ExperimentConfig, *,
                  planted_bug: bool = False,
                  shrink_budget: int = DEFAULT_SHRINK_BUDGET,
                  mean_incidents: float = 3.0,
+                 workers: int | None = None,
                  log: typing.Callable[[str], None] = lambda line: None,
                  ) -> list[dict[str, typing.Any]]:
     """Run the seed × policy chaos matrix; one verdict row per run.
 
     Failing runs are shrunk and emitted as JSON repro artifacts under
     ``out_dir`` (``chaos_repro_seed<i>_<policy>.json``).  With
-    ``planted_bug`` the deliberately broken heal re-sync is armed for
-    the duration (restored on exit, even on error) and every schedule
-    gets one guaranteed drop-window incident so the bug has something
-    to break.
+    ``planted_bug`` the deliberately broken heal re-sync is armed inside
+    every cell (restored on exit, even on error) and every schedule gets
+    one guaranteed drop-window incident so the bug has something to
+    break.
+
+    The matrix fans out over ``workers`` processes via
+    :mod:`repro.parallel`.  Rows, log lines, and artifact bytes are
+    identical for any worker count: schedules are sampled up front from
+    order-independent named streams, each cell (oracle run + shrink) is
+    self-contained, and the parent writes every artifact in submission
+    order.
     """
     if seeds < 1:
         raise ValueError(f"seeds must be >= 1, got {seeds}")
@@ -109,63 +151,60 @@ def chaos_search(config: ExperimentConfig, *,
     durability = DurabilityConfig(
         checkpoint_interval_ms=max(2_000.0, horizon / 6.0), flush_every=8)
     registry = StreamRegistry(config.run_seed)
-    rows: list[dict[str, typing.Any]] = []
 
-    from repro.cluster import portal as portal_module
-    previous_flag = portal_module.PLANTED_RESYNC_BUG
-    if planted_bug:
-        portal_module.PLANTED_RESYNC_BUG = True
-    try:
-        for index in range(seeds):
-            rng = registry.stream(f"chaos.schedule-{index}")
-            incidents = sample_incidents(rng, n_replicas, horizon,
-                                         mean_incidents=mean_incidents)
-            if planted_bug:
-                # Guarantee a drop window so the broken heal must fire.
-                # Incidents are exclusive per replica, so evict sampled
-                # incidents that would overlap the planted window.
-                planted = FaultIncident(
-                    DROP_UPDATES, min(1, n_replicas - 1),
-                    horizon * 0.25, horizon * 0.25)
-                incidents = sorted(
-                    [i for i in incidents
-                     if i.replica != planted.replica
-                     or i.end_ms <= planted.at_ms
-                     or i.at_ms >= planted.end_ms] + [planted],
-                    key=lambda i: (i.at_ms, i.replica, i.kind))
-            sim_seed = config.run_seed + index
-            for policy in policies:
-                violation = _verdict(policy, trace, n_replicas, incidents,
-                                     sim_seed, health, durability)
-                row: dict[str, typing.Any] = {
-                    "seed_index": index, "policy": policy,
-                    "incidents": len(incidents),
-                    "failed": violation is not None,
-                }
-                if violation is not None:
-                    log(f"seed {index} × {policy}: INVARIANT VIOLATION — "
-                        f"shrinking ({len(incidents)} incidents)")
-                    result = shrink_incidents(
-                        incidents,
-                        lambda candidate: _verdict(
-                            policy, trace, n_replicas, candidate,
-                            sim_seed, health, durability) is not None,
-                        max_checks=shrink_budget)
-                    artifact = _write_artifact(
-                        pathlib.Path(out_dir), index, policy, sim_seed,
-                        config, trace, n_replicas, incidents, result,
-                        violation)
-                    row["shrunk_incidents"] = len(result.incidents)
-                    row["oracle_runs"] = result.checks
-                    row["artifact"] = str(artifact)
-                    log(f"  shrunk to {len(result.incidents)} incident(s) "
-                        f"in {result.checks} oracle run(s) -> {artifact}")
-                else:
-                    log(f"seed {index} × {policy}: ok "
-                        f"({len(incidents)} incidents)")
-                rows.append(row)
-    finally:
-        portal_module.PLANTED_RESYNC_BUG = previous_flag
+    cells: list[tuple[int, str, list[FaultIncident], int]] = []
+    for index in range(seeds):
+        rng = registry.stream(f"chaos.schedule-{index}")
+        incidents = sample_incidents(rng, n_replicas, horizon,
+                                     mean_incidents=mean_incidents)
+        if planted_bug:
+            # Guarantee a drop window so the broken heal must fire.
+            # Incidents are exclusive per replica, so evict sampled
+            # incidents that would overlap the planted window.
+            planted = FaultIncident(
+                DROP_UPDATES, min(1, n_replicas - 1),
+                horizon * 0.25, horizon * 0.25)
+            incidents = sorted(
+                [i for i in incidents
+                 if i.replica != planted.replica
+                 or i.end_ms <= planted.at_ms
+                 or i.at_ms >= planted.end_ms] + [planted],
+                key=lambda i: (i.at_ms, i.replica, i.kind))
+        sim_seed = config.run_seed + index
+        for policy in policies:
+            cells.append((index, policy, list(incidents), sim_seed))
+
+    tasks = [Task(fn=_chaos_cell,
+                  args=(policy, trace, n_replicas, tuple(incidents),
+                        sim_seed, health, durability, planted_bug,
+                        shrink_budget),
+                  key=f"chaos-seed{index}-{policy}")
+             for index, policy, incidents, sim_seed in cells]
+    outcomes = run_tasks(tasks, workers)
+
+    rows: list[dict[str, typing.Any]] = []
+    for (index, policy, incidents, sim_seed), (violation, result) in zip(
+            cells, outcomes):
+        row: dict[str, typing.Any] = {
+            "seed_index": index, "policy": policy,
+            "incidents": len(incidents),
+            "failed": violation is not None,
+        }
+        if violation is not None and result is not None:
+            log(f"seed {index} × {policy}: INVARIANT VIOLATION — "
+                f"shrinking ({len(incidents)} incidents)")
+            artifact = _write_artifact(
+                pathlib.Path(out_dir), index, policy, sim_seed,
+                config, trace, n_replicas, incidents, result, violation)
+            row["shrunk_incidents"] = len(result.incidents)
+            row["oracle_runs"] = result.checks
+            row["artifact"] = str(artifact)
+            log(f"  shrunk to {len(result.incidents)} incident(s) "
+                f"in {result.checks} oracle run(s) -> {artifact}")
+        else:
+            log(f"seed {index} × {policy}: ok "
+                f"({len(incidents)} incidents)")
+        rows.append(row)
     return rows
 
 
@@ -235,6 +274,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="max oracle runs per shrink")
     parser.add_argument("--mean-incidents", type=float, default=3.0,
                         help="mean incidents per replica per schedule")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the seed × policy "
+                             "matrix (default: $REPRO_WORKERS or 1; "
+                             "results are identical for any count)")
     parser.add_argument("--planted-bug", action="store_true",
                         help="arm the deliberately broken heal re-sync; "
                              "exit 0 iff the harness catches it (the "
@@ -257,7 +300,8 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
                         horizon_ms=args.horizon_ms, out_dir=args.out,
                         planted_bug=args.planted_bug,
                         shrink_budget=args.shrink_budget,
-                        mean_incidents=args.mean_incidents, log=print)
+                        mean_incidents=args.mean_incidents,
+                        workers=args.workers, log=print)
     failures = [row for row in rows if row["failed"]]
     print(f"\nchaos: {len(rows)} run(s), {len(failures)} failure(s)")
     if args.planted_bug:

@@ -4,6 +4,7 @@ variants, and QUTS."""
 import typing
 
 from .base import Scheduler, SchedulerFactory
+from .core import DESClock, SchedulerClock, SchedulerCore
 from .dual import (DualQueueScheduler, make_fifo_qh, make_fifo_uh, make_qh,
                    make_uh)
 from .fifo import FIFOScheduler
@@ -50,6 +51,7 @@ __all__ = [
     "DEFAULT_ALPHA",
     "DEFAULT_OMEGA_MS",
     "DEFAULT_TAU_MS",
+    "DESClock",
     "DualQueueScheduler",
     "EDFPriority",
     "FCFSPriority",
@@ -63,6 +65,8 @@ __all__ = [
     "QUTSScheduler",
     "STANDARD_SCHEDULERS",
     "Scheduler",
+    "SchedulerClock",
+    "SchedulerCore",
     "SchedulerFactory",
     "TransactionQueue",
     "VRDPriority",

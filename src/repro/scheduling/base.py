@@ -1,44 +1,32 @@
-"""The scheduler interface the database server drives.
+"""The DES-facing scheduler interface the database server drives.
 
-A scheduler owns the waiting transactions and answers four questions:
-
-* ``next_transaction(now)`` — which transaction should get the CPU now?
-* ``preempts(running, arrival)`` — should this fresh arrival kick the
-  running transaction off the CPU immediately?
-* ``quantum(running, now)`` — for how long may the chosen transaction run
-  before the scheduler wants to make a new decision (``inf`` for
-  run-to-completion policies; the remaining atom-time slot for QUTS)?
-* ``has_lock_priority(requester, holder)`` — the 2PL-HP priority predicate
-  induced by this policy.
-
-The server calls ``submit_query`` / ``submit_update`` on arrivals and
-``requeue`` when a preempted, restarted, or unblocked transaction must wait
-again.  ``bind`` hands the scheduler its environment (clock + RNG streams)
-before the simulation starts; QUTS uses it to start its adaptation process.
+The decision contract itself — queues, ``next_transaction``,
+``preempts``, ``quantum``, ``has_lock_priority`` — lives on the
+clock-agnostic :class:`repro.scheduling.core.SchedulerCore`, which both
+the simulator and the live gateway (:mod:`repro.serve`) drive.
+:class:`Scheduler` is the DES binding: ``bind`` hands the core its
+environment wrapped in a :class:`~repro.scheduling.core.DESClock`
+(clock + RNG streams) before the simulation starts; QUTS uses it to
+start its adaptation process.
 """
 
 from __future__ import annotations
 
 import typing
 
-from repro.db.transactions import Query, Transaction, Update
-from repro.sim import Environment, Infinity
+from repro.sim import Environment
 from repro.sim.rng import StreamRegistry
 
-if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.telemetry.hooks import SchedulerProbe
+from .core import DESClock, SchedulerCore
 
 
-class Scheduler:
-    """Base class; concrete policies override the queue/decision methods."""
-
-    #: Short name used in reports and figures ("FIFO", "UH", "QUTS", ...).
-    name: str = "base"
+class Scheduler(SchedulerCore):
+    """Base class for DES-bound policies; concrete policies override the
+    queue/decision methods on :class:`SchedulerCore`."""
 
     def __init__(self) -> None:
+        super().__init__()
         self.env: Environment | None = None
-        #: Telemetry probe (None keeps every hook a single comparison).
-        self.probe: "SchedulerProbe | None" = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -46,85 +34,7 @@ class Scheduler:
     def bind(self, env: Environment, streams: StreamRegistry) -> None:
         """Attach the simulation environment before the run starts."""
         self.env = env
-
-    def attach_telemetry(self, probe: "SchedulerProbe | None") -> None:
-        """Attach a telemetry probe (the server does this at startup)."""
-        self.probe = probe
-
-    def _trace_depths(self) -> None:
-        """Emit queue-depth counter samples (callers guard ``probe``).
-
-        The gate runs first so a sampled-out snapshot skips the depth
-        computation (and the ``env.now`` property) entirely.
-        """
-        probe = self.probe
-        if probe is not None and self.env is not None \
-                and probe.wants_depths():
-            probe.record_depths(self.env.now, self.pending_queries(),
-                                self.pending_updates())
-
-    # ------------------------------------------------------------------
-    # Queue management
-    # ------------------------------------------------------------------
-    def submit_query(self, query: Query) -> None:
-        raise NotImplementedError
-
-    def submit_update(self, update: Update) -> None:
-        raise NotImplementedError
-
-    def requeue(self, txn: Transaction) -> None:
-        """Put a preempted/restarted/unblocked transaction back in line."""
-        if isinstance(txn, Query):
-            self.submit_query(txn)
-        elif isinstance(txn, Update):
-            self.submit_update(txn)
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown transaction type {txn!r}")
-
-    def notify_query_finished(self, query: Query) -> None:
-        """Hook: ``query`` committed or was dropped.
-
-        The base policies ignore it; extensions that derive update
-        priority from query interest (e.g.
-        :mod:`repro.scheduling.inheritance`) use it to retire interest.
-        """
-
-    # ------------------------------------------------------------------
-    # Decisions
-    # ------------------------------------------------------------------
-    def next_transaction(self, now: float) -> Transaction | None:
-        """Pop the transaction that should run now (None if all queues
-        are empty)."""
-        raise NotImplementedError
-
-    def preempts(self, running: Transaction, arrival: Transaction) -> bool:
-        """Should ``arrival`` preempt ``running`` immediately?"""
-        return False
-
-    def quantum(self, running: Transaction, now: float) -> float:
-        """Maximum uninterrupted slice for ``running`` (default: no limit)."""
-        return Infinity
-
-    def has_lock_priority(self, requester: Transaction,
-                          holder: Transaction) -> bool:
-        """2PL-HP predicate: does ``requester`` outrank ``holder``?
-
-        In every policy of the paper the transaction holding the CPU is the
-        highest-priority one, so the default is True (restart the holder).
-        """
-        return True
-
-    # ------------------------------------------------------------------
-    # Introspection (used by tests and reports)
-    # ------------------------------------------------------------------
-    def pending_queries(self) -> int:
-        raise NotImplementedError
-
-    def pending_updates(self) -> int:
-        raise NotImplementedError
-
-    def has_work(self) -> bool:
-        return self.pending_queries() > 0 or self.pending_updates() > 0
+        self.bind_clock(DESClock(env), streams)
 
 
 SchedulerFactory = typing.Callable[[], Scheduler]

@@ -28,11 +28,11 @@ slot wins lock conflicts.
 from __future__ import annotations
 
 from repro.db.transactions import Query, Transaction, Update
-from repro.sim import Environment, TimeSeries
-from repro.sim.process import ProcessGenerator
+from repro.sim import TimeSeries
 from repro.sim.rng import RandomStream, StreamRegistry
 
 from .base import Scheduler
+from .core import SchedulerClock
 from .priorities import FCFSPriority, PriorityPolicy, VRDPriority
 from .queues import TransactionQueue
 
@@ -118,18 +118,15 @@ class QUTSScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def bind(self, env: Environment, streams: StreamRegistry) -> None:
-        super().bind(env, streams)
+    def bind_clock(self, clock: SchedulerClock,
+                   streams: StreamRegistry) -> None:
+        super().bind_clock(clock, streams)
         self._rng = streams.stream("quts.xi")
-        self._state_until = env.now
+        self._state_until = clock.now
         if self.fixed_rho is None:
-            env.process(self._adaptation_loop(env), name="quts-adaptation")
-
-    def _adaptation_loop(self, env: Environment) -> ProcessGenerator:
-        """Recompute ρ at the start of each adaptation period ω (§4.1)."""
-        while True:
-            yield env.timeout(self.omega)
-            self._adapt(env.now)
+            # Recompute ρ at the start of each adaptation period ω (§4.1).
+            clock.call_periodic(self.omega, self._adapt,
+                                name="quts-adaptation")
 
     def _adapt(self, now: float) -> None:
         qos_max = self._period_qos_max

@@ -1,0 +1,140 @@
+"""The live monotonic clock — the only module allowed to read the host
+clock inside :mod:`repro.serve`.
+
+Everything in the gateway measures time through
+:class:`MonotonicClock`, which implements the same
+:class:`~repro.scheduling.core.SchedulerClock` surface the DES binds via
+:class:`~repro.scheduling.core.DESClock`: ``now`` in milliseconds and
+``call_periodic`` for QUTS's ρ-adaptation.  Keeping every
+``time.monotonic()`` read behind this one class is enforced by simlint's
+``no-wall-clock`` rule (this file is its single exemption under
+``src/repro/serve/``), so the rest of the serving stack stays testable
+against a :class:`ManualClock` and cannot grow hidden host-time
+dependencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import typing
+
+
+class _Periodic:
+    """One registered periodic callback (period in ms)."""
+
+    __slots__ = ("period_ms", "fn", "name")
+
+    def __init__(self, period_ms: float,
+                 fn: typing.Callable[[float], None], name: str) -> None:
+        self.period_ms = period_ms
+        self.fn = fn
+        self.name = name
+
+
+class MonotonicClock:
+    """Milliseconds since construction, read from ``time.monotonic``.
+
+    Implements :class:`~repro.scheduling.core.SchedulerClock`.
+    ``call_periodic`` registrations become asyncio tasks once
+    :meth:`start` runs inside an event loop (registrations made after
+    ``start`` spawn immediately); :meth:`stop` cancels them.  The zero
+    point is the clock's construction instant, so gateway timestamps are
+    small, comparable floats just like simulated time.
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+        self._periodics: list[_Periodic] = []
+        self._tasks: list[asyncio.Task[None]] = []
+        self._started = False
+
+    @property
+    def now(self) -> float:
+        """Milliseconds elapsed since the clock was created."""
+        return (time.monotonic() - self._origin) * 1000.0
+
+    def call_periodic(self, period_ms: float,
+                      fn: typing.Callable[[float], None], *,
+                      name: str) -> None:
+        if period_ms <= 0:
+            raise ValueError(f"period_ms must be positive, got {period_ms}")
+        periodic = _Periodic(period_ms, fn, name)
+        self._periodics.append(periodic)
+        if self._started:
+            self._spawn(periodic)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (driven by the gateway)
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn one asyncio ticker task per registered periodic."""
+        if self._started:
+            return
+        self._started = True
+        for periodic in self._periodics:
+            self._spawn(periodic)
+
+    def _spawn(self, periodic: _Periodic) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._tick(periodic), name=periodic.name)
+        self._tasks.append(task)
+
+    async def _tick(self, periodic: _Periodic) -> None:
+        period_s = periodic.period_ms / 1000.0
+        while True:
+            await asyncio.sleep(period_s)
+            periodic.fn(self.now)
+
+    async def stop(self) -> None:
+        """Cancel every ticker task and wait for them to unwind."""
+        self._started = False
+        tasks, self._tasks = self._tasks, []
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+
+class ManualClock:
+    """A hand-cranked :class:`~repro.scheduling.core.SchedulerClock` for
+    tests: ``advance`` moves time and fires due periodics in
+    registration order, with no host clock and no event loop."""
+
+    def __init__(self, start_ms: float = 0.0) -> None:
+        self._now = start_ms
+        self._periodics: list[_Periodic] = []
+        self._due: dict[int, float] = {}
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def call_periodic(self, period_ms: float,
+                      fn: typing.Callable[[float], None], *,
+                      name: str) -> None:
+        if period_ms <= 0:
+            raise ValueError(f"period_ms must be positive, got {period_ms}")
+        periodic = _Periodic(period_ms, fn, name)
+        self._periodics.append(periodic)
+        self._due[id(periodic)] = self._now + period_ms
+
+    def advance(self, delta_ms: float) -> None:
+        """Move the clock forward, firing periodics as they come due."""
+        if delta_ms < 0:
+            raise ValueError(f"cannot move time backwards ({delta_ms})")
+        target = self._now + delta_ms
+        while True:
+            upcoming = [(due, periodic) for periodic in self._periodics
+                        if (due := self._due[id(periodic)]) <= target]
+            if not upcoming:
+                break
+            upcoming.sort(key=lambda pair: pair[0])
+            due, periodic = upcoming[0]
+            self._now = due
+            self._due[id(periodic)] = due + periodic.period_ms
+            periodic.fn(self._now)
+        self._now = target

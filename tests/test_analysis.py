@@ -84,6 +84,34 @@ class TestNoWallClock:
             """, select=["no-wall-clock"])
         assert findings == []
 
+    def test_fires_in_serve_path_outside_clock_module(self, tmp_path):
+        # The live serving stack has a legal host clock, but only inside
+        # repro.serve.clock — elsewhere the rule fires with a message
+        # pointing at the MonotonicClock abstraction.
+        findings = lint_snippet(tmp_path, """\
+            import time
+            t0 = time.monotonic()
+            """, relpath="src/repro/serve/gateway_probe.py",
+            select=["no-wall-clock"])
+        assert rule_ids(findings) == ["no-wall-clock"]
+        assert "MonotonicClock" in findings[0].message
+
+    def test_quiet_in_the_serve_clock_module(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            t0 = time.monotonic()
+            """, relpath="src/repro/serve/clock.py",
+            select=["no-wall-clock"])
+        assert findings == []
+
+    def test_suppressed_in_serve_path(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+            t0 = time.monotonic()  # repro: lint-ignore[no-wall-clock] x
+            """, relpath="src/repro/serve/loop_probe.py",
+            select=["no-wall-clock"])
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 class TestNoGlobalRng:

@@ -202,3 +202,17 @@ class TestChaosSearch:
         # Round-trip the embedded plan; it must still validate.
         plan = FaultPlan.from_dicts(artifact["fault_plan"])
         assert len(plan) >= 1
+
+    def test_worker_count_does_not_change_rows_or_artifacts(self, tmp_path):
+        sequential = search(tmp_path / "a", planted_bug=True)
+        pooled = search(tmp_path / "b", planted_bug=True, workers=2)
+        strip = [{k: v for k, v in row.items() if k != "artifact"}
+                 for row in sequential]
+        assert strip == [{k: v for k, v in row.items() if k != "artifact"}
+                         for row in pooled]
+        names = sorted(p.name for p in (tmp_path / "a").glob("*.json"))
+        assert names == sorted(p.name
+                               for p in (tmp_path / "b").glob("*.json"))
+        for name in names:
+            assert (tmp_path / "a" / name).read_bytes() == \
+                (tmp_path / "b" / name).read_bytes()
