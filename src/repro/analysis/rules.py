@@ -24,6 +24,10 @@ exception-hygiene  scheduler/db/WAL hot paths may not swallow errors
 no-ambient-entropy fault/chaos code may not read OS entropy (urandom,
                    uuid4, secrets) — schedules must derive from the
                    master seed alone
+single-event-queue only ``sim.environment`` owns an event-queue
+                   implementation; no second heapq in the kernel
+                   package, no poking ``_cal_*`` internals, no
+                   HeapEnvironment in library code
 ================== ==================================================
 """
 
@@ -36,7 +40,7 @@ from .core import Rule, SourceModule
 
 __all__ = ["ALL_RULES", "AmbientEntropyRule", "ClockEqualityRule",
            "ExceptionHygieneRule", "GlobalRngRule", "PicklableTaskRule",
-           "SlotsHygieneRule", "WallClockRule"]
+           "SingleEventQueueRule", "SlotsHygieneRule", "WallClockRule"]
 
 #: Directories holding the simulator's hot paths: classes here are
 #: constructed millions of times per run and stay ``__slots__``-based.
@@ -468,6 +472,84 @@ class AmbientEntropyRule(Rule):
             self._check(node)
 
 
+# ----------------------------------------------------------------------
+class SingleEventQueueRule(Rule):
+    """Only ``sim.environment`` may own an event-queue implementation.
+
+    The calendar queue's fidelity guarantee — every event dispatches in
+    exact ``(time, priority, eid)`` order — holds because that
+    tie-break lives in one module.  A second queue silently forks the
+    contract, so library code may not: import ``heapq`` inside the
+    kernel package (``repro.sim``), reach into the ``_cal_*`` calendar
+    internals, or run on :class:`~repro.sim.environment.HeapEnvironment`
+    (the previous heap kernel, kept solely as the executable
+    specification for the A/B benchmarks and equivalence tests).
+    ``heapq`` outside the kernel package — e.g. the transaction queues
+    in ``repro.scheduling`` — orders transactions, not events, and
+    stays legal.
+    """
+
+    rule_id = "single-event-queue"
+    summary = ("event-queue implementation outside sim.environment "
+               "(heapq in the kernel package, _cal_* internals, or "
+               "HeapEnvironment in library code)")
+    scope = ("src/repro",)
+    exempt = ("src/repro/sim/environment.py",)
+
+    #: The kernel package, where a stray heapq can only mean a rival
+    #: event queue.
+    KERNEL_PATH: typing.ClassVar[str] = "src/repro/sim"
+    HEAP_KERNEL: typing.ClassVar[str] = \
+        "repro.sim.environment.HeapEnvironment"
+
+    def _in_kernel(self) -> bool:
+        assert self.module is not None
+        relpath = self.module.relpath
+        return (relpath == self.KERNEL_PATH
+                or relpath.startswith(self.KERNEL_PATH + "/"))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self._in_kernel():
+            return
+        for alias in node.names:
+            if alias.name == "heapq":
+                self.report(node,
+                            "imports heapq inside the kernel package; "
+                            "the event queue lives in sim.environment "
+                            "only")
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "heapq" and not node.level \
+                and self._in_kernel():
+            self.report(node,
+                        "imports from heapq inside the kernel package; "
+                        "the event queue lives in sim.environment only")
+            return
+        for alias in node.names:
+            if alias.name == "HeapEnvironment":
+                self.report(node,
+                            "imports HeapEnvironment; the heap kernel "
+                            "is the benchmarks' executable spec — "
+                            "library code runs on Environment")
+
+    def _check_heap_kernel(self, node: ast.expr) -> None:
+        assert self.module is not None
+        if self.module.imports.resolve(node) == self.HEAP_KERNEL:
+            self.report(node,
+                        "uses HeapEnvironment; the heap kernel is the "
+                        "benchmarks' executable spec — library code "
+                        "runs on Environment")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr.startswith("_cal_"):
+            self.report(node,
+                        f"touches the calendar-queue internal "
+                        f"'{node.attr}'; only sim.environment may "
+                        f"manage event-queue state")
+            return
+        self._check_heap_kernel(node)
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     GlobalRngRule,
@@ -476,4 +558,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ClockEqualityRule,
     ExceptionHygieneRule,
     AmbientEntropyRule,
+    SingleEventQueueRule,
 )

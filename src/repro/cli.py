@@ -103,6 +103,11 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         return loadgen_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig.from_env(args.scale, workers=args.workers)
+    if config.workers > 1:
+        # Fork the sweep pool before any trace/database state exists so
+        # the workers inherit a small heap (see repro.parallel).
+        from repro.parallel import warm_pool
+        warm_pool(config.workers)
     handler = _HANDLERS[args.experiment]
     try:
         handler(config, args)

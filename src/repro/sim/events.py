@@ -100,6 +100,13 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Trigger this event with the state of another (for chaining)."""
+        if event._value is PENDING:
+            # An untriggered source has no outcome to copy; silently
+            # treating its ``_ok is None`` as a failure would "fail"
+            # this event with the PENDING sentinel as its exception.
+            raise EventLifecycleError(
+                f"cannot trigger {self!r} from {event!r}, which has not "
+                f"been triggered itself")
         if event._ok:
             self.succeed(event._value)
         else:

@@ -561,3 +561,90 @@ class TestAmbientEntropy:
             token = os.urandom(8)  # repro: lint-ignore[no-ambient-entropy]
             """, select=["no-ambient-entropy"])
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestSingleEventQueue:
+    def test_fires_on_heapq_import_in_kernel_package(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import heapq
+
+            queue = []
+            heapq.heappush(queue, (1.0, 0, 0, None))
+            """, select=["single-event-queue"])
+        assert rule_ids(findings) == ["single-event-queue"]
+        assert findings[0].line == 1
+
+    def test_fires_on_heapq_from_import_in_kernel_package(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from heapq import heappop, heappush
+            """, select=["single-event-queue"])
+        assert rule_ids(findings) == ["single-event-queue"]
+
+    def test_quiet_on_heapq_outside_kernel_package(self, tmp_path):
+        # Transaction priority queues (repro.scheduling) order
+        # transactions, not events — heapq there is legal.
+        findings = lint_snippet(tmp_path, """\
+            import heapq
+
+            pending = []
+            heapq.heappush(pending, (0.5, "txn"))
+            """, relpath="src/repro/scheduling/fixture_mod.py",
+            select=["single-event-queue"])
+        assert findings == []
+
+    def test_fires_on_calendar_internal_access(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def drain(env):
+                env._cal_buckets.clear()
+                return env._cal_size
+            """, relpath="src/repro/serve/fixture_mod.py",
+            select=["single-event-queue"])
+        assert rule_ids(findings) == ["single-event-queue"] * 2
+        assert "_cal_buckets" in findings[0].message
+
+    def test_fires_on_heap_environment_import(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.sim.environment import HeapEnvironment
+
+            env = HeapEnvironment()
+            """, relpath="src/repro/experiments/fixture_mod.py",
+            select=["single-event-queue"])
+        assert "single-event-queue" in rule_ids(findings)
+
+    def test_fires_on_heap_environment_attribute_use(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import repro.sim.environment as environment
+
+            env = environment.HeapEnvironment()
+            """, relpath="src/repro/experiments/fixture_mod.py",
+            select=["single-event-queue"])
+        assert rule_ids(findings) == ["single-event-queue"]
+
+    def test_quiet_in_environment_module_itself(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from heapq import heappop, heappush
+
+            buckets = {}
+            _cal_size = 0
+            """, relpath="src/repro/sim/environment.py",
+            select=["single-event-queue"])
+        assert findings == []
+
+    def test_quiet_outside_library_scope(self, tmp_path):
+        # Benchmarks and tests run the heap kernel on purpose: it is
+        # the executable specification for the A/B comparison.
+        findings = lint_snippet(tmp_path, """\
+            from repro.sim.environment import HeapEnvironment
+
+            env = HeapEnvironment()
+            """, relpath="benchmarks/fixture_mod.py",
+            select=["single-event-queue"])
+        assert findings == []
+
+    def test_suppressible_inline(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            def introspect(env):
+                return env._cal_size  # repro: lint-ignore[single-event-queue]
+            """, select=["single-event-queue"])
+        assert findings == []

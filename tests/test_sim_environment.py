@@ -63,6 +63,34 @@ class TestClock:
         env.run(until=10.0)
         assert fired == [10.0]
 
+    def test_run_until_processed_success_returns_value(self):
+        env = Environment()
+        done = env.event().succeed("answer")
+        env.run()  # processes `done`
+        assert env.run(until=done) == "answer"
+
+    def test_run_until_processed_failed_event_reraises(self):
+        # Regression: run(until=<already-processed failed event>) used
+        # to *return* the exception object as the run value instead of
+        # raising it the way the live path does.
+        env = Environment()
+        exc = RuntimeError("already failed")
+        failed = env.event().fail(exc)
+        failed.defuse()  # survive the live dispatch...
+        env.run()
+        failed._defused = False  # ...then present it un-defused
+        with pytest.raises(RuntimeError, match="already failed"):
+            env.run(until=failed)
+
+    def test_run_until_processed_defused_failure_returns_value(self):
+        """A defused failure is a handled outcome: returned, not raised."""
+        env = Environment()
+        exc = RuntimeError("handled")
+        failed = env.event().fail(exc)
+        failed.defuse()
+        env.run()
+        assert env.run(until=failed) is exc
+
 
 class TestScheduling:
     def test_peek_empty_is_infinity(self):
@@ -76,6 +104,22 @@ class TestScheduling:
     def test_step_empty_raises(self):
         with pytest.raises(EventLifecycleError):
             Environment().step()
+
+    def test_nan_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SchedulingError, match="non-finite"):
+            env.timeout(float("nan"))
+
+    def test_infinite_timeout_dispatches_after_all_finite_events(self):
+        env = Environment()
+        order = []
+        env.timeout(float("inf"), value="far").callbacks.append(
+            lambda event: order.append(event._value))
+        env.timeout(5.0, value="near").callbacks.append(
+            lambda event: order.append(event._value))
+        env.run()
+        assert order == ["near", "far"]
+        assert env.now == Infinity
 
     def test_negative_delay_rejected(self):
         env = Environment()

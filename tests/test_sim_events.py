@@ -83,6 +83,19 @@ class TestEventLifecycle:
         assert not target.ok
         assert target.value is exc
 
+    def test_trigger_from_untriggered_source_raises(self, env):
+        # Regression: an untriggered source has _ok is None, which the
+        # old code read as falsy and "failed" the target with the
+        # PENDING sentinel as its exception object.
+        source = env.event()
+        target = env.event()
+        with pytest.raises(EventLifecycleError, match="not .*triggered"):
+            target.trigger(source)
+        # The target must be untouched — still schedulable.
+        assert not target.triggered
+        target.succeed("fine")
+        assert target.value == "fine"
+
 
 class TestTimeout:
     def test_timeout_fires_at_delay(self, env):
