@@ -25,8 +25,9 @@ Run it as ``repro lint <paths...>`` or programmatically::
 from __future__ import annotations
 
 from .core import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, Finding,
-                   LintConfig, Rule, SourceModule, lint_paths, main,
-                   render_json, render_text)
+                   LintConfig, ProjectGraph, Rule, SourceModule,
+                   lint_paths, main, render_json, render_sarif,
+                   render_text)
 from .rules import ALL_RULES
 
 __all__ = [
@@ -36,10 +37,12 @@ __all__ = [
     "EXIT_FINDINGS",
     "Finding",
     "LintConfig",
+    "ProjectGraph",
     "Rule",
     "SourceModule",
     "lint_paths",
     "main",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

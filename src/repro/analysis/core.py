@@ -47,8 +47,9 @@ import sys
 import typing
 
 __all__ = ["EXIT_CLEAN", "EXIT_ERROR", "EXIT_FINDINGS", "Finding",
-           "ImportTable", "LintConfig", "Rule", "SourceModule",
-           "lint_paths", "main", "render_json", "render_text"]
+           "ImportTable", "LintConfig", "ProjectGraph", "Rule",
+           "SourceModule", "apply_rules", "lint_paths", "main",
+           "render_json", "render_sarif", "render_text"]
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -161,18 +162,38 @@ class SourceModule:
                 self.suppressions[lineno] = frozenset(
                     part.strip() for part in ids.split(",")
                     if part.strip())
+        #: ``def``/``class`` line -> first decorator line.  Findings
+        #: anchor on the ``def`` line, but humans put the suppression
+        #: marker where the statement starts — on or above the first
+        #: decorator — so :meth:`is_suppressed` must scan the span.
+        self.decorator_spans: dict[int, int] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)) and node.decorator_list:
+                self.decorator_spans[node.lineno] = \
+                    node.decorator_list[0].lineno
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         """True if ``rule_id`` is suppressed on ``line``.
 
         A marker suppresses findings on its own line and, when it is
         the only content of its line, on the following line — so a
-        suppression can sit above a long statement.
+        suppression can sit above a long statement.  For a decorated
+        ``def``/``class`` (findings anchor on the ``def`` line) the
+        whole decorator span counts as "its own line": a marker on any
+        decorator line, or comment-only above the first decorator,
+        suppresses too.
         """
-        for marker_line in (line, line - 1):
+        #: (marker line, must the line be comment-only to count)
+        candidates = [(line, False), (line - 1, True)]
+        span_start = self.decorator_spans.get(line)
+        if span_start is not None:
+            candidates.extend((n, False) for n in range(span_start, line))
+            candidates.append((span_start - 1, True))
+        for marker_line, comment_only in candidates:
             if marker_line not in self.suppressions:
                 continue
-            if marker_line == line - 1:
+            if comment_only:
                 stripped = self.text.splitlines()[marker_line - 1].strip()
                 if not stripped.startswith("#"):
                     continue
@@ -180,6 +201,131 @@ class SourceModule:
             if ids is None or rule_id in ids:
                 return True
         return False
+
+
+# ----------------------------------------------------------------------
+# Project import/call graph
+# ----------------------------------------------------------------------
+class ProjectGraph:
+    """A project-wide import and call graph over the linted file set.
+
+    Built once per lint run (rules construct it in :meth:`Rule.prepare`)
+    from the already-parsed :class:`SourceModule` set — no file is read
+    twice.  The graph gives interprocedural rules three things:
+
+    * :attr:`functions` — every module-level function and class method,
+      keyed by dotted qualified name (``repro.sim.rng.StreamRegistry.
+      stream``); nested functions are not registered (they are part of
+      their enclosing function's body).
+    * :attr:`calls` — per function, the set of *resolved* callee names:
+      import-rooted targets (``time.monotonic``), same-module functions,
+      and unambiguous ``self.``/``cls.`` method calls.  Unresolvable
+      callees are simply absent — the graph under-approximates, which
+      for lint rules means missed findings, never false ones.
+    * :attr:`imports` — per module, the imported module names.
+    """
+
+    def __init__(self,
+                 modules: typing.Sequence[SourceModule]) -> None:
+        #: relpath -> dotted module name
+        self.module_names: dict[str, str] = {
+            module.relpath: self.module_name(module.relpath)
+            for module in modules}
+        self.functions: dict[
+            str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+        self.function_module: dict[str, SourceModule] = {}
+        self.imports: dict[str, frozenset[str]] = {}
+        #: (module name, method name) -> qualified names defining it
+        self._methods: dict[tuple[str, str], list[str]] = {}
+        for module in modules:
+            self._register(module)
+        self.calls: dict[str, frozenset[str]] = {}
+        for qualname, fn in self.functions.items():
+            owner = self.function_module[qualname]
+            callees = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    target = self.resolve_callee(owner, node.func)
+                    if target is not None:
+                        callees.add(target)
+            self.calls[qualname] = frozenset(callees)
+
+    @staticmethod
+    def module_name(relpath: str) -> str:
+        """Dotted module name for a repo-relative path.
+
+        ``src/repro/sim/environment.py`` -> ``repro.sim.environment``;
+        package ``__init__`` files name the package itself.
+        """
+        parts = list(pathlib.PurePosixPath(relpath).parts)
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][:-3]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def _register(self, module: SourceModule) -> None:
+        mod = self.module_names[module.relpath]
+        imported: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                imported.update(alias.name for alias in node.names)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and not node.level:
+                    imported.add(node.module)
+        self.imports[mod] = frozenset(imported)
+
+        def visit(node: ast.AST, prefix: str, in_class: bool) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    qualname = f"{prefix}.{child.name}"
+                    if qualname not in self.functions:
+                        self.functions[qualname] = child
+                        self.function_module[qualname] = module
+                        if in_class:
+                            self._methods.setdefault(
+                                (mod, child.name), []).append(qualname)
+                    # nested defs stay part of this function's body
+                elif isinstance(child, ast.ClassDef):
+                    visit(child, f"{prefix}.{child.name}", True)
+
+        visit(module.tree, mod, False)
+
+    def resolve_callee(self, module: SourceModule,
+                       node: ast.expr) -> str | None:
+        """Qualified name a callee expression refers to, if resolvable."""
+        target = module.imports.resolve(node)
+        if target is not None:
+            return target
+        mod = self.module_names[module.relpath]
+        if isinstance(node, ast.Name):
+            qualname = f"{mod}.{node.id}"
+            return qualname if qualname in self.functions else None
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("self", "cls")):
+            candidates = self._methods.get((mod, node.attr), [])
+            if len(candidates) == 1:
+                return candidates[0]
+        return None
+
+    def callees(self, qualname: str) -> frozenset[str]:
+        return self.calls.get(qualname, frozenset())
+
+    def transitive_callees(self, qualname: str) -> frozenset[str]:
+        """Every function reachable from ``qualname`` via call edges."""
+        seen: set[str] = set()
+        frontier = [qualname]
+        while frontier:
+            current = frontier.pop()
+            for callee in self.calls.get(current, frozenset()):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        return frozenset(seen)
 
 
 # ----------------------------------------------------------------------
@@ -419,6 +565,28 @@ def lint_paths(paths: typing.Sequence[str | pathlib.Path],
     return sorted(findings)
 
 
+def apply_rules(module: SourceModule,
+                rules: typing.Sequence[Rule]) -> list[Finding]:
+    """Run ``rules`` over one in-memory module; no filesystem walk.
+
+    Used by the planted-bug harness (``repro sanitize --planted-bug``)
+    and tests, where the module under analysis is synthesised with a
+    chosen ``relpath`` (rule scoping matches on the relpath, so a
+    fixture can opt into ``src/repro``-scoped rules without living
+    there).
+    """
+    active = [rule for rule in rules if rule.applies_to(module)]
+    for rule in active:
+        rule.prepare([module])
+        rule.begin_module(module)
+    _Walker(active).visit(module.tree)
+    findings: list[Finding] = []
+    for rule in active:
+        rule.end_module()
+        findings.extend(rule.findings)
+    return sorted(findings)
+
+
 # ----------------------------------------------------------------------
 # Reporters
 # ----------------------------------------------------------------------
@@ -439,6 +607,47 @@ def render_json(findings: typing.Sequence[Finding]) -> str:
     }, indent=2, sort_keys=True)
 
 
+def render_sarif(findings: typing.Sequence[Finding],
+                 rule_index: typing.Mapping[str, str] | None = None, *,
+                 tool_name: str = "simlint") -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, one tool).
+
+    ``rule_index`` maps rule ids to one-line descriptions for the
+    driver's rule table; ids seen only in ``findings`` get an empty
+    description.  The output is what GitHub code scanning ingests, so
+    findings render as inline annotations on pull requests.
+    """
+    rules: dict[str, str] = dict(rule_index or {})
+    for finding in findings:
+        rules.setdefault(finding.rule_id, "")
+    return json.dumps({
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": tool_name,
+                "informationUri":
+                    "https://github.com/example/repro",
+                "rules": [{
+                    "id": rule_id,
+                    "shortDescription": {"text": summary or rule_id},
+                } for rule_id, summary in sorted(rules.items())],
+            }},
+            "results": [{
+                "ruleId": finding.rule_id,
+                "level": "error",
+                "message": {"text": finding.message},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {"startLine": finding.line,
+                               "startColumn": finding.col},
+                }}],
+            } for finding in findings],
+        }],
+    }, indent=2, sort_keys=True)
+
+
 # ----------------------------------------------------------------------
 # CLI (wired up as ``repro lint``)
 # ----------------------------------------------------------------------
@@ -451,7 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="files or directories to lint "
                              "(default: src)")
     parser.add_argument("--format", default="text",
-                        choices=("text", "json"),
+                        choices=("text", "json", "sarif"),
                         help="report format (default: text)")
     parser.add_argument("--select", default=None,
                         help="comma-separated rule ids to run "
@@ -490,6 +699,11 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
 
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "sarif":
+        from .rules import ALL_RULES
+        rule_index = {rule_cls.rule_id: rule_cls.summary
+                      for rule_cls in ALL_RULES}
+        print(render_sarif(findings, rule_index))
     else:
         print(render_text(findings, files_checked=len(files)))
     return EXIT_FINDINGS if findings else EXIT_CLEAN

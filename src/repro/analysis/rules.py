@@ -28,6 +28,11 @@ single-event-queue only ``sim.environment`` owns an event-queue
                    implementation; no second heapq in the kernel
                    package, no poking ``_cal_*`` internals, no
                    HeapEnvironment in library code
+no-entropy-taint   host-entropy values (wall clock, OS randomness,
+                   unseeded RNGs) may not flow — even through
+                   function returns — into event scheduling
+no-set-iteration   library code may not iterate over sets;
+                   hash-randomized order is a replay hazard
 ================== ==================================================
 """
 
@@ -36,10 +41,11 @@ from __future__ import annotations
 import ast
 import typing
 
-from .core import Rule, SourceModule
+from .core import ProjectGraph, Rule, SourceModule
 
 __all__ = ["ALL_RULES", "AmbientEntropyRule", "ClockEqualityRule",
-           "ExceptionHygieneRule", "GlobalRngRule", "PicklableTaskRule",
+           "EntropyTaintRule", "ExceptionHygieneRule", "GlobalRngRule",
+           "PicklableTaskRule", "SetIterationRule",
            "SingleEventQueueRule", "SlotsHygieneRule", "WallClockRule"]
 
 #: Directories holding the simulator's hot paths: classes here are
@@ -550,6 +556,371 @@ class SingleEventQueueRule(Rule):
         self._check_heap_kernel(node)
 
 
+# ----------------------------------------------------------------------
+class EntropyTaintRule(Rule):
+    """Host entropy may not flow into event scheduling — even indirectly.
+
+    ``no-wall-clock`` and ``no-ambient-entropy`` ban *reading* host
+    entropy in simulation code; this rule bans *using* it to decide
+    when events fire.  It is interprocedural: a helper that returns
+    ``time.monotonic()`` taints its callers through the project call
+    graph (:class:`~repro.analysis.core.ProjectGraph`), so laundering a
+    wall-clock read through a function return still trips the rule at
+    the ``schedule()``/``timeout()`` call site.
+
+    Sources are wall clocks (``time.*``, ``datetime.*``), OS entropy
+    (``os.urandom``, ``uuid.uuid4``, ``secrets.*``), and *unseeded*
+    RNGs — ``random.Random()`` / ``numpy.random.default_rng()`` with a
+    seed argument are legal, the global-state draws (``random.random``
+    et al.) never are.  The analysis propagates taint through local
+    assignments flow-insensitively and through function returns to a
+    fixpoint; it under-approximates aliasing (containers, attributes),
+    so it misses some flows but does not invent them.
+    """
+
+    rule_id = "no-entropy-taint"
+    summary = ("host-entropy value (wall clock, os.urandom, unseeded "
+               "RNG) flows into schedule()/timeout(); event timing "
+               "must derive from simulated state and seeded streams")
+
+    #: The live gateway's clock module is *about* host time.
+    exempt = ("src/repro/serve/clock.py",)
+
+    #: Call names that put a delay/interval on the event queue.
+    SINKS: typing.ClassVar[frozenset[str]] = frozenset({
+        "schedule", "timeout", "call_periodic",
+    })
+    SOURCE_EXACT: typing.ClassVar[frozenset[str]] = frozenset({
+        "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    })
+    #: Seedable constructors: tainted only when called with no seed.
+    SEEDABLE: typing.ClassVar[frozenset[str]] = frozenset({
+        "random.Random", "numpy.random.default_rng",
+        "numpy.random.RandomState",
+    })
+    SOURCE_PREFIXES: typing.ClassVar[tuple[str, ...]] = (
+        "time.", "datetime.", "secrets.", "random.", "numpy.random.",
+    )
+
+    _COMPOUND: typing.ClassVar[tuple[type[ast.stmt], ...]] = (
+        ast.If, ast.For, ast.AsyncFor, ast.While, ast.With,
+        ast.AsyncWith, ast.Try,
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._graph: ProjectGraph | None = None
+        #: qualified names of functions whose return value is tainted
+        self._tainted_fns: set[str] = set()
+
+    # -- interprocedural fixpoint --------------------------------------
+    def prepare(self, modules: typing.Sequence[SourceModule]) -> None:
+        self._graph = ProjectGraph(modules)
+        changed = True
+        while changed:
+            changed = False
+            for qualname, fn in self._graph.functions.items():
+                if qualname in self._tainted_fns:
+                    continue
+                module = self._graph.function_module[qualname]
+                if self._scan_body(module, fn.body, set(),
+                                   report=False):
+                    self._tainted_fns.add(qualname)
+                    changed = True
+
+    # -- taint of one expression ---------------------------------------
+    def _is_source(self, module: SourceModule, call: ast.Call) -> bool:
+        target = module.imports.resolve(call.func)
+        if target is None:
+            return False
+        if target in self.SOURCE_EXACT:
+            return True
+        if target in self.SEEDABLE:
+            return not call.args and not call.keywords
+        return target.startswith(self.SOURCE_PREFIXES)
+
+    def _expr_tainted(self, module: SourceModule, expr: ast.expr,
+                      env: set[str]) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                if self._is_source(module, node):
+                    return True
+                if self._graph is not None:
+                    callee = self._graph.resolve_callee(module,
+                                                        node.func)
+                    if callee in self._tainted_fns:
+                        return True
+            elif (isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in env):
+                return True
+        return False
+
+    # -- statement scan -------------------------------------------------
+    def _scan_body(self, module: SourceModule,
+                   body: typing.Sequence[ast.stmt], env: set[str],
+                   report: bool) -> bool:
+        """Walk ``body`` propagating taint; True iff a return is tainted.
+
+        ``env`` is the set of tainted local names, mutated in place.
+        With ``report=True`` (the per-file visit), sink calls with a
+        tainted argument are reported; with ``report=False`` (the
+        prepare fixpoint) the scan only classifies returns.
+        """
+        returns_tainted = False
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # separate scope, analysed on its own
+            if isinstance(stmt, self._COMPOUND):
+                if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    if self._expr_tainted(module, stmt.iter, env):
+                        env.update(_target_names(stmt.target))
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        if (item.optional_vars is not None
+                                and self._expr_tainted(
+                                    module, item.context_expr, env)):
+                            env.update(
+                                _target_names(item.optional_vars))
+                for sub in _sub_bodies(stmt):
+                    if self._scan_body(module, sub, env, report):
+                        returns_tainted = True
+                continue
+            if report:
+                self._check_sinks(module, stmt, env)
+            if isinstance(stmt, ast.Return):
+                if stmt.value is not None and self._expr_tainted(
+                        module, stmt.value, env):
+                    returns_tainted = True
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign,
+                                   ast.AugAssign)):
+                names = self._assigned_names(stmt)
+                value = stmt.value
+                if value is not None and self._expr_tainted(
+                        module, value, env):
+                    env.update(names)
+                elif not isinstance(stmt, ast.AugAssign):
+                    env.difference_update(names)
+        return returns_tainted
+
+    @staticmethod
+    def _assigned_names(
+            stmt: ast.Assign | ast.AnnAssign | ast.AugAssign
+    ) -> set[str]:
+        if isinstance(stmt, ast.Assign):
+            names: set[str] = set()
+            for target in stmt.targets:
+                names.update(_target_names(target))
+            return names
+        return _target_names(stmt.target)
+
+    def _check_sinks(self, module: SourceModule, stmt: ast.stmt,
+                     env: set[str]) -> None:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            if name not in self.SINKS:
+                continue
+            args = [*node.args,
+                    *(kw.value for kw in node.keywords)]
+            for arg in args:
+                if self._expr_tainted(module, arg, env):
+                    self.report(
+                        node,
+                        f"host-entropy value flows into '{name}()'; "
+                        f"event timing must derive from simulated "
+                        f"state and seeded StreamRegistry streams "
+                        f"(taint tracked through function returns)")
+                    break
+
+    # -- per-file visit -------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> None:
+        assert self.module is not None
+        self._scan_body(self.module, node.body, set(), report=True)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        assert self.module is not None
+        self._scan_body(self.module, node.body, set(), report=True)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        assert self.module is not None
+        self._scan_body(self.module, node.body, set(), report=True)
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+    return names
+
+
+def _sub_bodies(
+        stmt: ast.stmt) -> typing.Iterator[typing.Sequence[ast.stmt]]:
+    for field in ("body", "orelse", "finalbody"):
+        sub = getattr(stmt, field, None)
+        if sub:
+            yield sub
+    for handler in getattr(stmt, "handlers", ()):
+        yield handler.body
+
+
+# ----------------------------------------------------------------------
+class SetIterationRule(Rule):
+    """Library code may not iterate over sets.
+
+    Python sets iterate in hash order, and ``PYTHONHASHSEED`` makes
+    that order differ between *processes* — the classic way a replay
+    is bit-identical on the developer's machine and divergent in CI.
+    Membership tests, ``len()``, and set algebra are all fine; what is
+    banned is anything that *observes the order*: ``for`` loops,
+    comprehension iterables, ``list(s)``/``tuple(s)``/``iter(s)``/
+    ``enumerate(s)``, and ``", ".join(s)``.  The deterministic escape
+    hatch is always ``sorted(s)``, which the rule deliberately allows.
+
+    Detection is type-light: an expression is set-ish if it is a set
+    literal/comprehension, a ``set()``/``frozenset()`` call, set
+    algebra over a set-ish operand, a local name bound or annotated
+    set-ish, or a ``self.x`` attribute annotated set-ish in its class
+    body.  Unknown expressions are assumed not to be sets, so the rule
+    under-approximates rather than guessing.
+    """
+
+    rule_id = "no-set-iteration"
+    summary = ("iteration over a set observes hash-randomized order; "
+               "iterate sorted(the_set) instead")
+    scope = ("src/repro",)
+
+    #: set-returning methods of set objects
+    SET_METHODS: typing.ClassVar[frozenset[str]] = frozenset({
+        "union", "intersection", "difference",
+        "symmetric_difference", "copy",
+    })
+    #: calls whose result order mirrors the argument's iteration order
+    ORDER_SENSITIVE_CALLS: typing.ClassVar[frozenset[str]] = frozenset({
+        "list", "tuple", "iter", "enumerate",
+    })
+    _SET_ANNOTATIONS: typing.ClassVar[frozenset[str]] = frozenset({
+        "set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+        "MutableSet",
+    })
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._set_names: set[str] = set()
+        self._set_attrs: set[str] = set()
+
+    def begin_module(self, module: SourceModule) -> None:
+        super().begin_module(module)
+        self._set_names = set()
+        self._set_attrs = set()
+        # Two passes so a name annotated below its first use still
+        # counts; assignments of set-ish values come second because
+        # they may reference names collected in the first pass.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AnnAssign) and \
+                    self._is_set_annotation(node.annotation):
+                self._bind_target(node.target)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign) and \
+                    self._is_setish(node.value):
+                for target in node.targets:
+                    self._bind_target(target)
+
+    def _bind_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self._set_names.add(target.id)
+        elif (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            self._set_attrs.add(target.attr)
+
+    def _is_set_annotation(self, annotation: ast.expr) -> bool:
+        node = annotation
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._SET_ANNOTATIONS
+        return (isinstance(node, ast.Name)
+                and node.id in self._SET_ANNOTATIONS)
+
+    def _is_setish(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and \
+                    func.id in ("set", "frozenset"):
+                return True
+            return (isinstance(func, ast.Attribute)
+                    and func.attr in self.SET_METHODS
+                    and self._is_setish(func.value))
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._is_setish(node.left)
+                    or self._is_setish(node.right))
+        if isinstance(node, ast.Name):
+            return node.id in self._set_names
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr in self._set_attrs
+        return False
+
+    def _flag(self, node: ast.AST, how: str) -> None:
+        self.report(node,
+                    f"{how} iterates a set in hash-randomized order; "
+                    f"iterate sorted(...) for a replay-stable order")
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_setish(node.iter):
+            self._flag(node, "for loop")
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        if self._is_setish(node.iter):
+            self._flag(node, "async for loop")
+
+    def _check_comprehension(
+            self, node: (ast.ListComp | ast.SetComp | ast.GeneratorExp
+                         | ast.DictComp)) -> None:
+        for gen in node.generators:
+            if self._is_setish(gen.iter):
+                self._flag(node, "comprehension")
+                return
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._check_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._check_comprehension(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Name)
+                and func.id in self.ORDER_SENSITIVE_CALLS
+                and node.args and self._is_setish(node.args[0])):
+            self._flag(node, f"{func.id}() over a set")
+        elif (isinstance(func, ast.Attribute) and func.attr == "join"
+                and node.args and self._is_setish(node.args[0])):
+            self._flag(node, "str.join() over a set")
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     GlobalRngRule,
@@ -559,4 +930,6 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ExceptionHygieneRule,
     AmbientEntropyRule,
     SingleEventQueueRule,
+    EntropyTaintRule,
+    SetIterationRule,
 )

@@ -8,6 +8,7 @@ Examples::
     repro table3               # workload information
     repro run --policy QUTS    # a single simulation with default QCs
     repro lint src benchmarks  # simlint determinism static analysis
+    repro sanitize fig5 fig9   # simsan dynamic race + perturbation run
     repro trace figures --fig 5 --out trace.json
                                # instrumented run -> Perfetto trace
     repro chaos --seeds 8      # chaos search; shrinks failing schedules
@@ -45,6 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "Scheduling in Web-databases' (ICDE 2007)",
         epilog="'repro lint [paths...]' runs the simlint determinism "
                "static analyser (see 'repro lint --help'); "
+               "'repro sanitize [experiments...]' runs the simsan "
+               "determinism sanitizer over experiment cells "
+               "(see 'repro sanitize --help'); "
                "'repro trace <experiment>' runs one instrumented "
                "simulation and exports a Chrome/Perfetto trace "
                "(see 'repro trace --help'); "
@@ -85,6 +89,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         # --select); dispatch before the experiment parser sees it.
         from repro.analysis import main as lint_main
         return lint_main(argv[1:])
+    if argv[:1] == ["sanitize"]:
+        # Same pattern: the sanitizer harness owns its own grammar.
+        from repro.experiments.sanitize import main as sanitize_main
+        return sanitize_main(argv[1:])
     if argv[:1] == ["trace"]:
         # Same pattern: the trace exporter owns its own grammar.
         from repro.telemetry.cli import main as trace_main

@@ -22,6 +22,7 @@ from repro.scheduling.quts import QUTSScheduler
 from repro.sim import Environment
 from repro.sim.process import ProcessGenerator
 from repro.sim.rng import RandomStream, StreamRegistry
+from repro.sim.sanitizer import Sanitizer
 from repro.telemetry.hooks import KernelProbe, TelemetryKnob
 from repro.workload.traces import Trace
 
@@ -57,6 +58,7 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
                    invalidation: bool = True,
                    admission: "AdmissionPolicy | None" = None,
                    telemetry: TelemetryKnob = None,
+                   sanitizer: Sanitizer | None = None,
                    ) -> SimulationResult:
     """Replay ``trace`` under ``scheduler`` and collect all metrics.
 
@@ -68,15 +70,27 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
     it on).  ``telemetry`` enables structured tracing (see
     :mod:`repro.telemetry`); the session comes back on
     ``result.telemetry`` and the run's numbers are byte-identical with
-    it on or off.
+    it on or off.  ``sanitizer`` runs the simulation under the
+    determinism sanitizer (see :mod:`repro.sim.sanitizer`): the eid
+    counter is swapped before any event exists and, in race mode, the
+    database and scheduler are wrapped in access-tracking proxies —
+    results stay byte-identical with the sanitizer on or off.
     """
     if qc_source is None:
         qc_source = free_qc_source()
 
     env = Environment()
+    if sanitizer is not None:
+        sanitizer.install(env)
     streams = StreamRegistry(master_seed)
-    database = Database(staleness_aggregation=staleness_aggregation,
-                        invalidation=invalidation)
+    if sanitizer is not None and sanitizer.track_state:
+        database: Database = sanitizer.tracked_database(
+            staleness_aggregation=staleness_aggregation,
+            invalidation=invalidation)
+        sanitizer.track_scheduler(scheduler)
+    else:
+        database = Database(staleness_aggregation=staleness_aggregation,
+                            invalidation=invalidation)
     ledger = ProfitLedger()
     server = DatabaseServer(env, database, scheduler, ledger, streams,
                             config=server_config, admission=admission,
@@ -91,6 +105,8 @@ def run_simulation(scheduler: Scheduler, trace: Trace,
     horizon = trace.duration_ms + max(0.0, drain_ms)
     env.run(until=horizon)
     server.finalize()
+    if sanitizer is not None:
+        sanitizer.finish()
     if isinstance(env.telemetry, KernelProbe):
         env.telemetry.flush()
 

@@ -165,7 +165,8 @@ async def _handle_connection(gateway: QCGateway,
             await asyncio.gather(*replies, return_exceptions=True)
         await writer.drain()
     finally:
-        for task in replies:
+        # Host-side teardown: cancellation order carries no state.
+        for task in replies:  # repro: lint-ignore[no-set-iteration]
             task.cancel()
         writer.close()
         try:

@@ -71,6 +71,22 @@ class EventObserver(typing.Protocol):
         ...  # pragma: no cover - protocol
 
 
+class SanitizerProbe(typing.Protocol):
+    """What :attr:`Environment.sanitizer` must provide.
+
+    Structural for the same reason as :class:`EventObserver`; the
+    concrete implementation is ``repro.sim.sanitizer.Sanitizer``.
+    Unlike telemetry's ``on_event``, the sanitizer sees the full queue
+    entry — the determinism analysis needs the exact ``(time, priority,
+    eid)`` dispatch coordinates, and it must observe them *before* the
+    event's callbacks run so it can snapshot the eid watermark.
+    """
+
+    def begin_event(self, time: float, priority: int, eid: int,
+                    event: Event) -> None:
+        ...  # pragma: no cover - protocol
+
+
 class Environment:
     """A single-clock discrete-event simulation environment.
 
@@ -88,7 +104,10 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._eid = count()
+        #: Strictly increasing insertion counter.  Typed as a plain
+        #: iterator because the sanitizer swaps in a readable (or
+        #: permuted) counter — see :mod:`repro.sim.sanitizer`.
+        self._eid: typing.Iterator[int] = count()
         self._active_proc: Process | None = None
         # Calendar queue state (see the module docstring).  The bucket
         # key of an entry at time t is int(t): truncation is monotone in
@@ -105,6 +124,13 @@ class Environment:
         #: disabled path costs one comparison per ``run()`` call, not
         #: per event.
         self.telemetry: EventObserver | None = None
+        #: Optional determinism sanitizer (``repro.sim.sanitizer``).
+        #: ``None`` (the default) keeps :meth:`run` on the batched
+        #: loops below; installed, :meth:`run` switches to the
+        #: one-entry-at-a-time :meth:`_run_sanitized` path, which
+        #: dispatches in the identical ``(time, priority, eid)`` order
+        #: via :meth:`_pop_entry` but exposes every entry to the probe.
+        self.sanitizer: SanitizerProbe | None = None
 
     def __repr__(self) -> str:
         return f"<Environment t={self._now} queued={self._cal_size}>"
@@ -263,6 +289,36 @@ class Environment:
             exc = typing.cast(BaseException, event._value)
             raise exc
 
+    def _run_sanitized(self) -> object:
+        """The :meth:`run` loop under an installed determinism sanitizer.
+
+        Dispatches entries one at a time through :meth:`_pop_entry` —
+        the executable-specification order, identical to the batched
+        loops — handing each ``(time, priority, eid, event)`` tuple to
+        the probe *before* its callbacks run.  Opt-in and slower than
+        the batched path (see ``benchmarks/test_sanitizer_overhead``);
+        results are bit-identical with the sanitizer on or off.
+        """
+        probe = self.sanitizer
+        assert probe is not None
+        begin_event = probe.begin_event
+        try:
+            while True:
+                try:
+                    t, priority, eid, event = self._pop_entry()
+                except EventLifecycleError:
+                    return None
+                self._now = t
+                begin_event(t, priority, eid, event)
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                for callback in callbacks:  # type: ignore[union-attr]
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise typing.cast(BaseException, event._value)
+        except StopSimulation as stop:
+            return stop.value
+
     def run(self, until: float | Event | None = None) -> object:
         """Run until ``until`` (a time, an event, or queue exhaustion).
 
@@ -293,6 +349,9 @@ class Environment:
                     raise typing.cast(BaseException, stop_event._value)
                 return stop_event.value
             stop_event.callbacks.append(_stop_simulation)
+
+        if self.sanitizer is not None:
+            return self._run_sanitized()
 
         # The loop below drains the calendar one bucket at a time: sort
         # the batch once, then dispatch every event in it before asking
@@ -480,6 +539,13 @@ class HeapEnvironment(Environment):
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._queue[0][0] if self._queue else Infinity
 
+    def _pop_entry(self) -> Entry:
+        """Remove and return the single next entry in queue order."""
+        try:
+            return heappop(self._queue)
+        except IndexError:
+            raise EventLifecycleError("no more events") from None
+
     def step(self) -> None:
         """Process the next event, advancing the clock to its time."""
         try:
@@ -518,6 +584,9 @@ class HeapEnvironment(Environment):
                     raise typing.cast(BaseException, stop_event._value)
                 return stop_event.value
             stop_event.callbacks.append(_stop_simulation)
+
+        if self.sanitizer is not None:
+            return self._run_sanitized()
 
         queue = self._queue
         observer = self.telemetry

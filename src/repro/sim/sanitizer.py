@@ -1,0 +1,467 @@
+"""simsan layer 1: the dynamic same-timestamp race detector.
+
+Every bit-identity guarantee in this repository rests on the kernel's
+exact ``(time, priority, eid)`` dispatch order.  Code whose *result*
+depends on the ``eid`` tie-break among equal ``(time, priority)``
+events is deterministic by luck: any refactor that changes event
+creation order (or a different kernel honouring the same contract)
+silently changes the answer.  This module makes that latent order
+dependence observable, two ways:
+
+* **Access-tracking race detection** — :class:`Sanitizer` installs
+  itself on an :class:`~repro.sim.environment.Environment` and records
+  per-event read/write sets over *tracked cells* of shared state:
+  per-key database items (via :class:`TrackedDatabase`), the
+  scheduler's transaction queues and its ρ state (via
+  :func:`wrap_method`).  Two events at the same ``(time, priority)``
+  that both touched a cell, at least one writing, and that *coexisted
+  in the queue* (so only the eid tie-break ordered them) form a
+  commutativity race and are reported as a :class:`RaceFinding` with
+  both events' suspension points.
+
+* **Tie-break perturbation** — a :class:`Sanitizer` constructed with a
+  ``salt`` replaces the eid counter with a bijectively permuted one
+  (:class:`_PermutedCounter`), re-ordering exactly the tie-broken
+  dispatches while preserving causality (an event can still only be
+  dispatched after it is created).  The harness in
+  :mod:`repro.experiments.sanitize` diffs result fingerprints across
+  salts and, on divergence, replays with ``record_trace=True`` to name
+  the first diverging event pair.
+
+Happens-before approximation
+----------------------------
+
+Within an equal ``(time, priority)`` run, event ``E`` raced with an
+earlier-dispatched event ``A`` iff ``E.eid <= watermark(A)``, where
+``watermark(A)`` is the last eid allocated before ``A``'s callbacks
+ran: both entries then coexisted in the queue and only the eid
+tie-break chose who went first.  ``E.eid > watermark(A)`` means ``E``
+was created during or after ``A``'s dispatch — causally ordered, not a
+race.  This is why zero-delay process continuations and same-timestamp
+causal chains (the normal shape of a discrete-event program) never
+fire the detector.
+
+Increments (``log_incr``) commute with each other — two events both
+bumping a counter at the same timestamp are order-independent — but
+conflict with reads and writes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import typing
+
+from repro.db.database import Database, StalenessAggregation
+from repro.db.transactions import Query, Update
+
+from .environment import Environment, Infinity
+from .errors import SimulationError
+from .events import Event, event_kind
+from .process import Process
+
+__all__ = ["EventInfo", "RaceFinding", "Sanitizer", "SanitizerError",
+           "TrackedDatabase", "wrap_method"]
+
+
+class SanitizerError(SimulationError):
+    """Sanitizer misuse (installed late, race mode with a salt, ...)."""
+
+
+# ----------------------------------------------------------------------
+# eid counters
+# ----------------------------------------------------------------------
+class _VisibleCounter:
+    """``itertools.count`` with a readable position.
+
+    The race detector needs the *last eid allocated so far* (the
+    watermark) at each dispatch; ``itertools.count`` cannot be peeked,
+    so the sanitizer swaps this in as ``Environment._eid`` before any
+    event is created.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.value = start
+
+    def __iter__(self) -> "typing.Iterator[int]":
+        return self
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return value
+
+
+class _PermutedCounter:
+    """A bijectively permuted eid counter for tie-break perturbation.
+
+    The n-th allocation returns ``((n * MULT) ^ salt) mod 2**32`` —
+    ``MULT`` is odd, so the map is a bijection on ``[0, 2**32)`` and
+    every run draws distinct eids.  Equal ``(time, priority)`` entries
+    now dispatch in permuted, salt-dependent order, while causality is
+    untouched: an event still enters the queue only when created.  Any
+    divergence between a salted run and the baseline is therefore an
+    order dependence, never an artifact of the permutation itself.
+    """
+
+    __slots__ = ("value", "_salt")
+
+    MASK: typing.ClassVar[int] = (1 << 32) - 1
+    MULT: typing.ClassVar[int] = 0x9E3779B1  # odd: bijective mod 2**32
+
+    def __init__(self, salt: int) -> None:
+        self.value = 0
+        self._salt = salt & self.MASK
+
+    def __iter__(self) -> "typing.Iterator[int]":
+        return self
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return ((value * self.MULT) ^ self._salt) & self.MASK
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class EventInfo:
+    """One side of a race: what dispatched, and where it was suspended."""
+
+    label: str  #: event kind plus the resumed process name(s)
+    path: str   #: source file of the first resumed process
+    line: int   #: its current suspension line (or def line if unstarted)
+    eid: int
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+
+@dataclasses.dataclass(frozen=True)
+class RaceFinding:
+    """Two same-``(time, priority)`` events ordered only by eid tie-break
+    with conflicting accesses to shared state."""
+
+    kind: str  #: "write/write", "read/write", or "increment/read"
+    time: float
+    priority: int
+    cells: tuple[str, ...]
+    first: EventInfo   #: dispatched first (smaller eid)
+    second: EventInfo
+
+    def format(self) -> str:
+        return (f"sim-order-race[{self.kind}] at t={self.time:g}ms on "
+                f"{', '.join(self.cells)}: '{self.first.label}' "
+                f"({self.first.location()}) vs '{self.second.label}' "
+                f"({self.second.location()}) are ordered only by the "
+                f"eid tie-break")
+
+    def to_dict(self) -> dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+
+class _EventRecord:
+    """Per-dispatch access log entry (race mode only)."""
+
+    __slots__ = ("time", "priority", "eid", "watermark", "label",
+                 "path", "line", "reads", "writes", "incrs")
+
+    def __init__(self, time: float, priority: int, eid: int,
+                 watermark: int, label: str, path: str,
+                 line: int) -> None:
+        self.time = time
+        self.priority = priority
+        self.eid = eid
+        self.watermark = watermark
+        self.label = label
+        self.path = path
+        self.line = line
+        self.reads: set[str] = set()
+        self.writes: set[str] = set()
+        self.incrs: set[str] = set()
+
+    def info(self) -> EventInfo:
+        return EventInfo(self.label, self.path, self.line, self.eid)
+
+
+def _describe(event: Event) -> tuple[str, str, int]:
+    """``(label, path, line)`` for a dispatching event.
+
+    The label names the process(es) this event resumes; the location is
+    the first such process's current suspension point — the exact line
+    whose continuation order is at stake.  Captured *before* dispatch,
+    while the generators are still suspended there.
+    """
+    names: list[str] = []
+    path, line = "<kernel>", 0
+    procs: list[Process] = []
+    if isinstance(event, Process):
+        procs.append(event)
+    for callback in (event.callbacks or ()):
+        owner = getattr(callback, "__self__", None)
+        if isinstance(owner, Process):
+            procs.append(owner)
+    for proc in procs:
+        names.append(proc.name)
+        if line == 0:
+            generator = proc._generator
+            frame = generator.gi_frame
+            code = generator.gi_code
+            path = code.co_filename
+            line = frame.f_lineno if frame is not None \
+                else code.co_firstlineno
+    label = event_kind(event)
+    if names:
+        label += "->" + "+".join(names)
+    return label, path, line
+
+
+# ----------------------------------------------------------------------
+# The sanitizer engine
+# ----------------------------------------------------------------------
+class Sanitizer:
+    """Determinism sanitizer for one simulation run.
+
+    ``Sanitizer()`` is race mode: access tracking plus same-timestamp
+    conflict detection.  ``Sanitizer(salt=n, track_state=False)`` is
+    perturbation mode: only the eid permutation, full-speed batched run
+    loop.  ``record_trace=True`` additionally logs every dispatch as
+    ``(time, priority, label)`` for divergence localisation.
+
+    Must be :meth:`install`-ed on a fresh environment before any event
+    exists — the eid counter swap has to own every eid of the run.
+    """
+
+    def __init__(self, *, track_state: bool = True,
+                 record_trace: bool = False, salt: int | None = None,
+                 max_findings: int = 200) -> None:
+        if salt is not None and track_state:
+            raise SanitizerError(
+                "race detection (track_state) needs unpermuted eids; "
+                "run perturbation with track_state=False")
+        self.track_state = track_state
+        self.record_trace = record_trace
+        self.salt = salt
+        self.max_findings = max_findings
+        self.findings: list[RaceFinding] = []
+        #: Dispatch trace (``record_trace=True`` only).
+        self.trace: list[tuple[float, int, str]] = []
+        self.events_seen = 0
+        self._counter: _VisibleCounter | _PermutedCounter = (
+            _VisibleCounter() if salt is None
+            else _PermutedCounter(salt))
+        self._group_key: tuple[float, int] = (-1.0, -1)
+        self._group: list[_EventRecord] = []
+        self._current: _EventRecord | None = None
+
+    # -- wiring ---------------------------------------------------------
+    def install(self, env: Environment) -> None:
+        """Take over ``env``'s eid counter (and dispatch hook if needed).
+
+        Must run before the environment schedules anything, so every
+        eid of the run comes from the sanitizer's counter.
+        """
+        if env.peek() != Infinity or env.sanitizer is not None:
+            raise SanitizerError(
+                "sanitizer must be installed on a fresh environment, "
+                "before any event is scheduled")
+        env._eid = self._counter
+        if self.track_state or self.record_trace:
+            env.sanitizer = self
+
+    def tracked_database(
+            self, *,
+            staleness_aggregation: StalenessAggregation = "max",
+            invalidation: bool = True) -> "TrackedDatabase":
+        return TrackedDatabase(
+            self, staleness_aggregation=staleness_aggregation,
+            invalidation=invalidation)
+
+    def track_scheduler(self, scheduler: object) -> None:
+        """Wrap the scheduler's queue/ρ mutators with access logging.
+
+        Must run before the scheduler is bound to the environment:
+        ``bind_clock`` captures the (then-wrapped) ``_adapt`` bound
+        method into its periodic process.
+        """
+        for name in ("submit_query", "submit_update", "requeue"):
+            if hasattr(scheduler, name):
+                wrap_method(self, scheduler, name,
+                            writes=("scheduler.queue",))
+        if hasattr(scheduler, "next_transaction"):
+            reads = ("scheduler.rho",) if hasattr(scheduler, "rho") \
+                else ()
+            wrap_method(self, scheduler, "next_transaction",
+                        reads=reads, writes=("scheduler.queue",))
+        if hasattr(scheduler, "_adapt"):
+            wrap_method(self, scheduler, "_adapt",
+                        writes=("scheduler.rho",))
+
+    # -- kernel hook (SanitizerProbe) -----------------------------------
+    def begin_event(self, time: float, priority: int, eid: int,
+                    event: Event) -> None:
+        self.events_seen += 1
+        if not self.track_state:
+            if self.record_trace:
+                label, _, _ = _describe(event)
+                self.trace.append((time, priority, label))
+            return
+        self._close_current()
+        key = (time, priority)
+        if key != self._group_key:
+            self._group_key = key
+            self._group = []
+        label, path, line = _describe(event)
+        if self.record_trace:
+            self.trace.append((time, priority, label))
+        # Watermark: the last eid allocated before this event's
+        # callbacks run.  Entries with eid <= watermark coexisted with
+        # this one in the queue — their relative order was pure eid
+        # tie-break.
+        self._current = _EventRecord(time, priority, eid,
+                                     self._counter.value - 1,
+                                     label, path, line)
+
+    def finish(self) -> None:
+        """Close the last open event record; call after ``env.run()``."""
+        self._close_current()
+
+    # -- access logging -------------------------------------------------
+    def log_read(self, cell: str) -> None:
+        record = self._current
+        if record is not None:
+            record.reads.add(cell)
+
+    def log_write(self, cell: str) -> None:
+        record = self._current
+        if record is not None:
+            record.writes.add(cell)
+
+    def log_incr(self, cell: str) -> None:
+        """A commutative counter bump: conflicts with reads/writes of
+        the same cell, but not with other increments."""
+        record = self._current
+        if record is not None:
+            record.incrs.add(cell)
+
+    # -- detection ------------------------------------------------------
+    def _close_current(self) -> None:
+        record = self._current
+        if record is None:
+            return
+        self._current = None
+        if not (record.reads or record.writes or record.incrs):
+            return
+        for prev in self._group:
+            if record.eid <= prev.watermark:
+                self._check_pair(prev, record)
+        self._group.append(record)
+
+    def _check_pair(self, first: _EventRecord,
+                    second: _EventRecord) -> None:
+        if len(self.findings) >= self.max_findings:
+            return
+        ww = first.writes & second.writes
+        rw = ((first.writes & (second.reads | second.incrs))
+              | (second.writes & (first.reads | first.incrs)))
+        ir = (first.incrs & second.reads) | (second.incrs & first.reads)
+        for kind, cells in (("write/write", ww), ("read/write", rw),
+                            ("increment/read", ir)):
+            if cells:
+                self.findings.append(RaceFinding(
+                    kind=kind, time=first.time, priority=first.priority,
+                    cells=tuple(sorted(cells)),
+                    first=first.info(), second=second.info()))
+
+
+# ----------------------------------------------------------------------
+# Access-tracking proxies
+# ----------------------------------------------------------------------
+def wrap_method(sanitizer: Sanitizer, obj: object, name: str, *,
+                reads: typing.Sequence[str] = (),
+                writes: typing.Sequence[str] = (),
+                incrs: typing.Sequence[str] = ()) -> None:
+    """Shadow ``obj.name`` with an instance attribute that logs the
+    declared cell accesses, then delegates to the original bound method.
+
+    Works on any un-``__slots__`` object (the schedulers); the original
+    method stays reachable through the class.
+    """
+    original = typing.cast("typing.Callable[..., typing.Any]",
+                           getattr(obj, name))
+
+    @functools.wraps(original)
+    def tracked(*args: typing.Any, **kwargs: typing.Any) -> typing.Any:
+        for cell in reads:
+            sanitizer.log_read(cell)
+        for cell in incrs:
+            sanitizer.log_incr(cell)
+        for cell in writes:
+            sanitizer.log_write(cell)
+        return original(*args, **kwargs)
+
+    setattr(obj, name, tracked)
+
+
+class TrackedDatabase(Database):
+    """A :class:`~repro.db.database.Database` that logs per-key cell
+    accesses on its serving surface.
+
+    Tracking is *semantic*, at the public-method level — the cell for
+    item ``K`` is ``db.items[K]`` regardless of which internal path
+    touched it.  Registering an update is a write (the register slot is
+    last-writer-wins under invalidation), applying is a write, reads
+    and staleness aggregations are reads, and the pending-count
+    bookkeeping is a commutative increment.  Durability/recovery
+    methods (``snapshot``/``restore``/``clear``/``replay_applied``)
+    are deliberately untracked: they run outside the serving loop.
+    """
+
+    def __init__(self, sanitizer: Sanitizer, *,
+                 keys: typing.Iterable[str] = (),
+                 staleness_aggregation: StalenessAggregation = "max",
+                 invalidation: bool = True) -> None:
+        super().__init__(keys, staleness_aggregation=staleness_aggregation,
+                         invalidation=invalidation)
+        self._san = sanitizer
+
+    def read(self, key: str) -> float:
+        self._san.log_read(f"db.items[{key}]")
+        return super().read(key)
+
+    def register_update(self, update: Update,
+                        now: float) -> Update | None:
+        self._san.log_write(f"db.items[{update.item}]")
+        self._san.log_incr("db.pending")
+        return super().register_update(update, now)
+
+    def pending_update(self, key: str) -> Update | None:
+        self._san.log_read(f"db.items[{key}]")
+        return super().pending_update(key)
+
+    def pending_count(self) -> int:
+        self._san.log_read("db.pending")
+        return super().pending_count()
+
+    def apply_update(self, update: Update, now: float) -> None:
+        self._san.log_write(f"db.items[{update.item}]")
+        self._san.log_incr("db.pending")
+        super().apply_update(update, now)
+
+    def query_staleness(self, query: Query) -> float:
+        for key in query.items:
+            self._san.log_read(f"db.items[{key}]")
+        return super().query_staleness(query)
+
+    def query_time_differential(self, query: Query, now: float) -> float:
+        for key in query.items:
+            self._san.log_read(f"db.items[{key}]")
+        return super().query_time_differential(query, now)
+
+    def query_value_distance(self, query: Query) -> float:
+        for key in query.items:
+            self._san.log_read(f"db.items[{key}]")
+        return super().query_value_distance(query)

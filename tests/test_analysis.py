@@ -16,8 +16,10 @@ import pytest
 
 from repro.analysis import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
                             Finding, LintConfig, lint_paths, main,
-                            render_json, render_text)
-from repro.analysis.core import LintUsageError, find_project_root
+                            render_json, render_sarif, render_text)
+from repro.analysis.core import (LintUsageError, ProjectGraph, Rule,
+                                 SourceModule, apply_rules,
+                                 find_project_root)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -648,3 +650,347 @@ class TestSingleEventQueue:
                 return env._cal_size  # repro: lint-ignore[single-event-queue]
             """, select=["single-event-queue"])
         assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestEntropyTaint:
+    def test_fires_on_direct_flow_into_timeout(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+
+            def run(env):
+                env.timeout(time.monotonic() % 7.0)
+            """, select=["no-entropy-taint"])
+        assert rule_ids(findings) == ["no-entropy-taint"]
+        assert findings[0].line == 4
+
+    def test_fires_through_local_assignment(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import os
+
+            def run(env):
+                seed = os.urandom(4)[0]
+                delay = seed * 2.0
+                env.schedule(None, delay=delay)
+            """, select=["no-entropy-taint"])
+        assert rule_ids(findings) == ["no-entropy-taint"]
+        assert findings[0].line == 6
+
+    def test_fires_transitively_through_function_return(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+
+            def jitter():
+                return time.perf_counter() % 1.0
+
+            def helper():
+                return jitter() * 2.0
+
+            def run(env):
+                env.timeout(helper())
+            """, select=["no-entropy-taint"])
+        assert rule_ids(findings) == ["no-entropy-taint"]
+        assert findings[0].line == 10
+
+    def test_fires_across_modules(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            from repro.sim.entropy_fixture import jitter
+
+            def run(env):
+                env.timeout(jitter())
+            """, select=["no-entropy-taint"],
+            extra=[("src/repro/sim/entropy_fixture.py", """\
+                import time
+
+                def jitter():
+                    return time.monotonic() % 1.0
+                """)])
+        taint = [f for f in findings if f.rule_id == "no-entropy-taint"]
+        assert [f.line for f in taint] == [4]
+        assert taint[0].path == "src/repro/sim/fixture_mod.py"
+
+    def test_quiet_on_seeded_streams_and_constants(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import random
+
+            def run(env, stream):
+                rng = random.Random(42)
+                env.timeout(stream.uniform(0.0, 1.0))
+                env.timeout(rng.uniform(0.0, 1.0))
+                env.timeout(5.0)
+            """, select=["no-entropy-taint"])
+        assert findings == []
+
+    def test_unseeded_rng_constructor_is_a_source(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import random
+
+            def run(env):
+                rng = random.Random()
+                env.timeout(rng.uniform(0.0, 1.0))
+            """, select=["no-entropy-taint"])
+        assert rule_ids(findings) == ["no-entropy-taint"]
+
+    def test_taint_cleared_by_reassignment(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+
+            def run(env):
+                delay = time.monotonic()
+                delay = 5.0
+                env.timeout(delay)
+            """, select=["no-entropy-taint"])
+        assert findings == []
+
+    def test_serve_clock_module_is_exempt(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+
+            def run(loop):
+                loop.schedule(time.monotonic())
+            """, relpath="src/repro/serve/clock.py",
+            select=["no-entropy-taint"])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            import time
+
+            def run(env):
+                env.timeout(time.monotonic())  # repro: lint-ignore[no-entropy-taint]
+            """, select=["no-entropy-taint"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestSetIteration:
+    def test_fires_on_for_loop_over_annotated_set(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            members: set[int] = set()
+
+            def drain():
+                for member in members:
+                    print(member)
+            """, select=["no-set-iteration"])
+        assert rule_ids(findings) == ["no-set-iteration"]
+        assert findings[0].line == 4
+
+    def test_fires_on_comprehension_and_list_call(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            names = {"a", "b"}
+            upper = [name.upper() for name in names]
+            as_list = list(names)
+            joined = ",".join(names)
+            """, select=["no-set-iteration"])
+        assert rule_ids(findings) == ["no-set-iteration"] * 3
+        assert [f.line for f in findings] == [2, 3, 4]
+
+    def test_fires_on_self_attribute_annotated_set(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            class Registry:
+                def __init__(self):
+                    self._members: set[int] = set()
+
+                def drain(self):
+                    return tuple(self._members)
+            """, select=["no-set-iteration"])
+        assert rule_ids(findings) == ["no-set-iteration"]
+        assert findings[0].line == 6
+
+    def test_fires_on_set_algebra_result(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            a = {1, 2}
+            b = {2, 3}
+            for x in a - b:
+                print(x)
+            """, select=["no-set-iteration"])
+        assert rule_ids(findings) == ["no-set-iteration"]
+
+    def test_quiet_on_sorted_and_membership(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            names = {"a", "b"}
+
+            def ordered():
+                for name in sorted(names):
+                    print(name)
+                return "a" in names and len(names)
+            """, select=["no-set-iteration"])
+        assert findings == []
+
+    def test_quiet_on_lists_and_dicts(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            items = [1, 2]
+            table = {"a": 1}
+            for item in items:
+                print(item)
+            for key in table:
+                print(key)
+            """, select=["no-set-iteration"])
+        assert findings == []
+
+    def test_out_of_scope_path_is_quiet(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            names = {"a", "b"}
+            for name in names:
+                print(name)
+            """, relpath="tests/fixture_mod.py",
+            select=["no-set-iteration"])
+        assert findings == []
+
+    def test_suppressed(self, tmp_path):
+        findings = lint_snippet(tmp_path, """\
+            names = {"a", "b"}
+            for name in names:  # repro: lint-ignore[no-set-iteration]
+                print(name)
+            """, select=["no-set-iteration"])
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+class TestDecoratorSpanSuppression:
+    DECORATED = """\
+        import dataclasses
+
+        class Event:
+            __slots__ = ("a",)
+
+        {marker_above}
+        @dataclasses.dataclass{marker_inline}
+        class Timeout(Event):
+            b: int = 0
+        """
+
+    def _lint(self, tmp_path, above="", inline=""):
+        code = self.DECORATED.format(marker_above=above,
+                                     marker_inline=inline)
+        return lint_snippet(tmp_path, code, select=["slots-hygiene"])
+
+    def test_decorated_class_fires_and_anchors_on_class_line(
+            self, tmp_path):
+        findings = self._lint(tmp_path)
+        assert rule_ids(findings) == ["slots-hygiene"]
+        assert findings[0].line == 8  # the `class` line, not line 7
+
+    def test_marker_on_decorator_line_suppresses(self, tmp_path):
+        findings = self._lint(
+            tmp_path, inline="  # repro: lint-ignore[slots-hygiene]")
+        assert findings == []
+
+    def test_marker_comment_above_decorator_suppresses(self, tmp_path):
+        findings = self._lint(
+            tmp_path, above="# repro: lint-ignore[slots-hygiene]")
+        assert findings == []
+
+    def test_marker_for_other_rule_does_not_suppress(self, tmp_path):
+        findings = self._lint(
+            tmp_path, inline="  # repro: lint-ignore[no-wall-clock]")
+        assert rule_ids(findings) == ["slots-hygiene"]
+
+    def test_decorated_function_span_via_apply_rules(self, tmp_path):
+        # A rule anchoring on a decorated `def` line: the marker on the
+        # decorator's line must reach it.
+        class DefRule(Rule):
+            rule_id = "def-rule"
+            summary = "flags every function definition"
+
+            def visit_FunctionDef(self, node):
+                self.report(node, "a def")
+
+        code = textwrap.dedent("""\
+            import functools
+
+            @functools.cache  # repro: lint-ignore[def-rule]
+            def cached():
+                return 1
+
+            @functools.cache
+            def uncached():
+                return 2
+            """)
+        target = tmp_path / "mod.py"
+        target.write_text(code)
+        module = SourceModule(target, "mod.py", code)
+        findings = apply_rules(module, [DefRule()])
+        assert [(f.rule_id, f.line) for f in findings] == \
+            [("def-rule", 8)]
+
+
+# ----------------------------------------------------------------------
+class TestProjectGraph:
+    def test_call_graph_resolves_local_imported_and_methods(
+            self, tmp_path):
+        code_a = textwrap.dedent("""\
+            from repro.sim.helper_fixture import leaf
+
+            def outer():
+                return inner() + leaf()
+
+            def inner():
+                return 1
+
+            class Box:
+                def get(self):
+                    return self.compute()
+
+                def compute(self):
+                    return 2
+            """)
+        code_b = textwrap.dedent("""\
+            def leaf():
+                return 3
+            """)
+        module_a = SourceModule(tmp_path / "a.py",
+                                "src/repro/sim/graph_fixture.py", code_a)
+        module_b = SourceModule(tmp_path / "b.py",
+                                "src/repro/sim/helper_fixture.py", code_b)
+        graph = ProjectGraph([module_a, module_b])
+        mod = "repro.sim.graph_fixture"
+        assert graph.callees(f"{mod}.outer") == {
+            f"{mod}.inner", "repro.sim.helper_fixture.leaf"}
+        assert graph.callees(f"{mod}.Box.get") == {f"{mod}.Box.compute"}
+        assert graph.transitive_callees(f"{mod}.outer") >= {
+            f"{mod}.inner"}
+
+    def test_module_name_strips_src_and_init(self):
+        assert ProjectGraph.module_name(
+            "src/repro/sim/environment.py") == "repro.sim.environment"
+        assert ProjectGraph.module_name(
+            "src/repro/sim/__init__.py") == "repro.sim"
+        assert ProjectGraph.module_name("benchmarks/bench.py") == \
+            "benchmarks.bench"
+
+
+# ----------------------------------------------------------------------
+class TestSarif:
+    def test_render_sarif_structure(self):
+        findings = [Finding("src/a.py", 3, 5, "no-wall-clock", "boom")]
+        payload = json.loads(render_sarif(
+            findings, {"no-wall-clock": "no host clocks"}))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        rules = {rule["id"]: rule["shortDescription"]["text"]
+                 for rule in run["tool"]["driver"]["rules"]}
+        assert rules == {"no-wall-clock": "no host clocks"}
+        result = run["results"][0]
+        assert result["ruleId"] == "no-wall-clock"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/a.py"
+        assert location["region"] == {"startLine": 3, "startColumn": 5}
+
+    def test_unknown_rule_ids_get_driver_entries(self):
+        findings = [Finding("a.py", 1, 1, "custom-rule", "m")]
+        payload = json.loads(render_sarif(findings))
+        ids = [rule["id"] for rule
+               in payload["runs"][0]["tool"]["driver"]["rules"]]
+        assert ids == ["custom-rule"]
+
+    def test_cli_format_sarif(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\nt = time.time()\n")
+        assert main([str(tmp_path), "--format", "sarif"]) == \
+            EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        results = payload["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {"no-wall-clock"}

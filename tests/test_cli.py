@@ -109,3 +109,25 @@ class TestChaosCommand:
         out = capsys.readouterr().out
         assert "planted bug caught" in out
         assert list(tmp_path.glob("chaos_repro_*.json"))
+
+
+class TestSanitizeCommand:
+    """``repro sanitize`` dispatches before the experiment parser;
+    the heavy dynamic cells are covered by tests/test_sanitizer.py, so
+    here only the dispatch + the fast static meta-runs are exercised."""
+
+    def test_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sanitize", "--help"])
+        assert excinfo.value.code == 0
+        assert "perturb" in capsys.readouterr().out
+
+    def test_planted_set_iter_meta_run(self, capsys):
+        assert main(["sanitize", "--planted-bug", "set-iter"]) == 0
+        out = capsys.readouterr().out
+        assert "no-set-iteration" in out
+        assert "planted" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["sanitize", "fig99", "--skip-static"]) == 2
+        assert "fig99" in capsys.readouterr().err
