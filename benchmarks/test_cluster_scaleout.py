@@ -1,14 +1,21 @@
-"""Extension — replicated portal scale-out and QC-aware routing.
+"""Extension — **replicated** portal scale-out and QC-aware routing.
 
 The paper's related work ([17]) applies Quality Contracts to replica
 selection.  This bench runs the workload against 1 and 2 QUTS replicas
-(updates broadcast, queries routed) and compares routers:
+(updates **broadcast to every replica**, queries routed) and compares
+routers:
 
-* scale-out must help: two replicas halve the query load per server
+* replication must help: two replicas halve the query load per server
   while each still pays the full update stream, so latency and total
   profit cannot get worse;
 * the QC-aware router (freshness-critical queries to the freshest
   replica) must not lose to round-robin.
+
+Replication scales query capacity and availability only — every
+replica still absorbs all 4,608 stock update streams.  For *update*
+scale-out (the keyspace partitioned so each portal pays only its slice
+of the update load), see ``test_shard_scaleout.py`` and
+``repro.shard``.
 """
 
 from conftest import run_once, save_report
@@ -25,7 +32,7 @@ def _sweep(config, trace):
     rows = []
     results = {}
     for n_replicas, router, label in (
-            (1, RoundRobinRouter(), "1 replica"),
+            (1, RoundRobinRouter(), "1 replica (replicated portal)"),
             (2, RoundRobinRouter(), "2 replicas, round-robin"),
             (2, QCAwareRouter(), "2 replicas, qc-aware")):
         result = run_cluster_simulation(
@@ -42,11 +49,11 @@ def _sweep(config, trace):
 
 def test_cluster_scaleout(benchmark, config, trace, results_dir):
     rows, results = run_once(benchmark, _sweep, config, trace)
-    single = results["1 replica"]
+    single = results["1 replica (replicated portal)"]
     double_rr = results["2 replicas, round-robin"]
     double_qc = results["2 replicas, qc-aware"]
 
-    # Scale-out helps (or at least never hurts).
+    # Replication helps (or at least never hurts).
     assert double_rr.mean_response_time <= single.mean_response_time
     assert double_rr.total_percent >= single.total_percent - 0.01
 
@@ -55,5 +62,7 @@ def test_cluster_scaleout(benchmark, config, trace, results_dir):
 
     save_report(results_dir, "cluster_scaleout",
                 format_table(rows, title="Extension - replicated portal "
-                                          "(QUTS replicas, balanced "
-                                          "QCs)"))
+                                          "(QUTS replicas, update "
+                                          "broadcast, balanced QCs; "
+                                          "for partitioned update load "
+                                          "see shard_scaleout)"))

@@ -15,6 +15,7 @@ Examples::
     repro serve --policy QUTS  # live asyncio QC gateway (TCP front)
     repro loadgen --multiplier 2.0
                                # open-loop load harness -> JSON report
+    repro shard --skew         # sharded scale-out + hot-key rebalancing
 """
 
 from __future__ import annotations
@@ -57,7 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
                "to minimal JSON repros (see 'repro chaos --help'); "
                "'repro serve' runs the live asyncio QC gateway and "
                "'repro loadgen' its open-loop load harness (see their "
-               "--help)")
+               "--help); "
+               "'repro shard' runs the sharded scale-out sweeps "
+               "(profit vs shard count, hot-key rebalancing; see "
+               "'repro shard --help')")
     parser.add_argument("experiment", choices=EXPERIMENTS,
                         help="which table/figure to regenerate")
     parser.add_argument("--scale", default=None,
@@ -109,6 +113,10 @@ def main(argv: typing.Sequence[str] | None = None) -> int:
         # Same pattern: the open-loop load harness owns its own grammar.
         from repro.serve.cli import loadgen_main
         return loadgen_main(argv[1:])
+    if argv[:1] == ["shard"]:
+        # Same pattern: the sharded scale-out sweeps own their grammar.
+        from repro.experiments.scaleout import main as shard_main
+        return shard_main(argv[1:])
     args = build_parser().parse_args(argv)
     config = ExperimentConfig.from_env(args.scale, workers=args.workers)
     if config.workers > 1:

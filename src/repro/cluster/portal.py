@@ -206,7 +206,8 @@ class ReplicatedPortal:
                  telemetry: TelemetryKnob = None,
                  health: HealthConfig | None = None,
                  admission_factory: typing.Callable[
-                     [], AdmissionPolicy] | None = None) -> None:
+                     [], AdmissionPolicy] | None = None,
+                 telemetry_prefix: str = "") -> None:
         if n_replicas <= 0:
             raise ValueError("need at least one replica")
         if failover_retries < 0:
@@ -225,10 +226,14 @@ class ReplicatedPortal:
         self.health = health
         #: One shared telemetry session across the portal and every
         #: replica: each replica traces under its own ``replicaN`` scope,
-        #: cluster incidents under ``portal``.
+        #: cluster incidents under ``portal``.  ``telemetry_prefix``
+        #: namespaces the scopes (e.g. ``shard2/``) so several portals
+        #: can share one session without lane collisions.
         self.telemetry = TelemetrySession.from_knob(telemetry)
-        self._probe = (self.telemetry.cluster_probe("portal")
-                       if self.telemetry is not None else None)
+        self.telemetry_prefix = telemetry_prefix
+        self._probe = (
+            self.telemetry.cluster_probe(f"{telemetry_prefix}portal")
+            if self.telemetry is not None else None)
         #: Jittered failover backoff: a dedicated named stream, so retry
         #: storms de-synchronise deterministically.  Stream *creation* is
         #: draw-free — a run that never retries is unaffected.
@@ -250,7 +255,7 @@ class ReplicatedPortal:
                            is not None else None),
                 wal=wal, monitor=monitor,
                 telemetry=self.telemetry,
-                telemetry_scope=f"replica{index}")
+                telemetry_scope=f"{telemetry_prefix}replica{index}")
             self.replicas.append(ReplicaHandle(index, server, ledger, wal))
         #: Gray-failure defenses (only with an attached HealthConfig):
         #: the suspicion detector plus one breaker per replica, all
@@ -903,6 +908,86 @@ class ReplicatedPortal:
             self._lose_query(query, ledger)
         for replica in self.replicas:
             replica.server.finalize()
+
+    # ------------------------------------------------------------------
+    # Shard support: adoption, staleness probes, and state transfer
+    # ------------------------------------------------------------------
+    def adopt_query(self, query: Query) -> int:
+        """Route and enqueue a query whose contract is priced elsewhere.
+
+        The shard planner's fan-out sub-queries arrive here: their
+        (scaled, shadow-priced) contracts must stay out of this portal's
+        denominators — the parent contract is priced exactly once by the
+        coordinating layer.  Routing, breaker bookkeeping, and the
+        failover retry loop behave exactly as in :meth:`submit_query`;
+        only the ledger pricing differs.  Returns the serving replica's
+        index, or ``-1`` when the query entered the failover loop.
+        """
+        try:
+            index = self.router.choose(query, self.replicas)
+        except NoHealthyReplica:
+            self.fault_counters.increment("queries_stranded_arrival")
+            self._start_failover(query, self.replicas[0].ledger,
+                                 backup_index=None)
+            return -1
+        if not 0 <= index < len(self.replicas):
+            raise ValueError(f"router chose invalid replica {index}")
+        handle = self.replicas[index]
+        if not handle.up:
+            raise ValueError(f"router chose dead replica {index}")
+        self.routed_counts[index] += 1
+        if handle.breaker is not None:
+            handle.breaker.record_routed(self.env.now)
+        handle.server.adopt_query(query)
+        if query.alive:
+            self._remember_backup(query, index)
+        return index
+
+    def staleness_age(self, key: str) -> float:
+        """Simulated-time age of ``key``'s oldest unapplied update on the
+        *freshest* live replica (the copy a router would want to serve
+        from).  0.0 when some live replica is fully caught up on ``key``
+        — or when every replica is down (routing, not freshness, is the
+        problem then).
+        """
+        now = self.env.now
+        best: float | None = None
+        for replica in self.replicas:
+            if not replica.up:
+                continue
+            age = replica.server.database.staleness_age(key, now)
+            if best is None or age < best:
+                best = age
+        return best if best is not None else 0.0
+
+    def export_items(self, keys: typing.Iterable[str]) -> dict[str, tuple]:
+        """Partial state snapshot for ``keys`` from the first live
+        replica (the migration donor)."""
+        for replica in self.replicas:
+            if replica.up:
+                return replica.server.database.export_items(keys)
+        raise NoHealthyReplica("no live replica to export from")
+
+    def import_items(self, snapshot: dict[str, tuple]) -> None:
+        """Install a partial snapshot on every replica (migration copy).
+
+        Every replica gets the items — within a shard the keyspace is
+        fully replicated.  A replica that is down mid-migration converges
+        through the normal update stream once it recovers (values are
+        refreshed by subsequent updates exactly as after any outage).
+        """
+        for replica in self.replicas:
+            replica.server.database.import_items(snapshot)
+
+    def pending_update_for(self, key: str) -> bool:
+        """True while any live replica still has a pending (registered,
+        unapplied) update for ``key`` — the migration drain predicate."""
+        for replica in self.replicas:
+            if not replica.up:
+                continue
+            if replica.server.database.pending_update(key) is not None:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Cluster-level aggregates

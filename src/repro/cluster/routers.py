@@ -59,6 +59,45 @@ def _breaker_allows(replica: "ReplicaHandle") -> bool:
     return breaker.routable(replica.server.env.now)
 
 
+# ----------------------------------------------------------------------
+# The shared freshness metric
+# ----------------------------------------------------------------------
+# Freshness-sensitive routing scores a replica by two views of the same
+# underlying state (the update register + per-item arrival bookkeeping):
+#
+# * the *count* half — how many updates are queued but unapplied
+#   (:func:`update_backlog`, what :class:`QCAwareRouter` has always
+#   ordered by);
+# * the *age* half — for how long a read set has been stale in simulated
+#   time (:func:`staleness_age`, the ``td``-style signal the
+#   staleness-aware shard router scores by, per the Dynamo staleness
+#   model in PAPERS.md).
+#
+# Both are thin accessors over :meth:`repro.db.database.Database` state
+# so every router prices freshness off one metric source.
+
+def update_backlog(replica: "ReplicaHandle") -> int:
+    """Count half of the shared freshness metric: pending updates."""
+    return replica.pending_updates()
+
+
+def staleness_age(replica: "ReplicaHandle", keys: typing.Iterable[str],
+                  now: float) -> float:
+    """Age half of the shared freshness metric.
+
+    The worst (oldest) unapplied-update age over ``keys`` on this
+    replica, in simulated ms; 0.0 when the replica is caught up on all
+    of them.  Non-creating — probing never materialises items.
+    """
+    database = replica.server.database
+    worst = 0.0
+    for key in keys:
+        age = database.staleness_age(key, now)
+        if age > worst:
+            worst = age
+    return worst
+
+
 class Router:
     """Chooses the replica that will serve an incoming query."""
 
@@ -155,7 +194,7 @@ class QCAwareRouter(Router):
         qod_share = query.qc.qod_max / total if total > 0 else 0.0
         if qod_share >= self.qod_threshold:
             return min(healthy,
-                       key=lambda i: (replicas[i].pending_updates(), i))
+                       key=lambda i: (update_backlog(replicas[i]), i))
         return min(healthy,
                    key=lambda i: (replicas[i].pending_queries(), i))
 

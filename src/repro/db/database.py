@@ -158,6 +158,35 @@ class Database:
         self._items = {}
         self._register = {}
 
+    def export_items(self, keys: typing.Iterable[str]) -> dict[str, tuple]:
+        """A partial snapshot: the full per-item state for ``keys`` only.
+
+        The shard migration protocol copies a key range with this +
+        :meth:`import_items`; keys this store has never materialised are
+        omitted (the destination creates them lazily, exactly as this
+        store would have).
+        """
+        out: dict[str, tuple] = {}
+        for key in keys:
+            item = self._items.get(key)
+            if item is not None:
+                out[key] = tuple(getattr(item, field)
+                                 for field in _ITEM_FIELDS)
+        return out
+
+    def import_items(self, snapshot: dict[str, tuple]) -> None:
+        """Install a partial snapshot, overwriting any existing items.
+
+        The register table is untouched: pending updates for migrated
+        keys are the *source's* volatile queue state and are replayed by
+        the migration coordinator through the normal update path.
+        """
+        for key, state in snapshot.items():
+            item = DataItem(key)
+            for field, value in zip(_ITEM_FIELDS, state):
+                setattr(item, field, value)
+            self._items[key] = item
+
     def replay_applied(self, record: "WalRecord") -> None:
         """Re-install one WAL record during recovery.
 
@@ -193,6 +222,29 @@ class Database:
     # ------------------------------------------------------------------
     # Staleness of a query's read set
     # ------------------------------------------------------------------
+    def staleness_age(self, key: str, now: float) -> float:
+        """Simulated-time age of ``key``'s earliest unapplied update.
+
+        0.0 while the replica is fresh (or has never seen ``key``).  This
+        is the per-key form of the ``td`` metric — the shared signal the
+        QC-aware and staleness-aware routers both score routes by (age,
+        not just unapplied-update counts).  Non-creating: probing a key
+        must not materialise it.
+        """
+        item = self._items.get(key)
+        if item is None:
+            return 0.0
+        return item.time_differential(now)
+
+    def max_staleness_age(self, now: float) -> float:
+        """The oldest unapplied update's age across the whole store."""
+        oldest = 0.0
+        for item in self._items.values():
+            age = item.time_differential(now)
+            if age > oldest:
+                oldest = age
+        return oldest
+
     def query_staleness(self, query: Query) -> float:
         """Aggregate ``#uu`` over the query's read set (paper default: max).
 

@@ -490,8 +490,10 @@ class DatabaseServer:
     def _commit(self, txn: Transaction) -> None:
         now = self.env.now
         txn.finish_time = now
-        txn.status = TxnStatus.COMMITTED
         if txn.is_query:
+            # Quality metadata is filled in *before* the status flips so
+            # that ``on_terminal`` observers (fired from the status
+            # setter) see the completed record.
             query = typing.cast(Query, txn)
             query.staleness = self._measure_staleness(query, now)
             qos, qod = query.qc.evaluate(query.response_time(),
@@ -501,8 +503,14 @@ class DatabaseServer:
                 # the contract is forfeited, whatever the staleness
                 # metric says (the QoS half is what brownout saves).
                 qod = 0.0
+            if query.shadow_priced:
+                # The contract only shaped scheduling priority here; the
+                # coordinating layer (e.g. the shard planner's parent
+                # query) prices and credits the real contract.
+                qos = qod = 0.0
             query.qos_profit = qos
             query.qod_profit = qod
+            txn.status = TxnStatus.COMMITTED
             self.ledger.on_query_committed(query, now)
             self.scheduler.notify_query_finished(query)
             self._observe("query_committed", query,
@@ -510,6 +518,7 @@ class DatabaseServer:
             if self.query_outcome_hook is not None:
                 self.query_outcome_hook(query, True)
         else:
+            txn.status = TxnStatus.COMMITTED
             update = typing.cast(Update, txn)
             self.database.apply_update(update, now)
             if self.wal is not None:
@@ -531,8 +540,8 @@ class DatabaseServer:
         return self.database.query_value_distance(query)
 
     def _drop_query(self, query: Query) -> None:
-        query.status = TxnStatus.DROPPED_LIFETIME
         query.finish_time = self.env.now
+        query.status = TxnStatus.DROPPED_LIFETIME
         self.locks.release_all(query)
         self.ledger.on_query_dropped(query, self.env.now)
         self.scheduler.notify_query_finished(query)

@@ -71,6 +71,7 @@ class Transaction:
     __slots__ = (
         "txn_id", "arrival_time", "exec_time", "remaining", "_status",
         "restarts", "start_time", "finish_time", "preemptions", "_queue",
+        "on_terminal",
     )
 
     def __init__(self, arrival_time: float, exec_time: float) -> None:
@@ -95,6 +96,14 @@ class Transaction:
         self.finish_time: float | None = None
         #: Number of times the transaction was preempted off the CPU.
         self.preemptions = 0
+        #: Called exactly once, with the transaction, on the live →
+        #: terminal status transition (commit, drop, rejection, crash
+        #: loss, end-of-run finalisation — *any* terminal state).  Unlike
+        #: ``DatabaseServer.query_outcome_hook`` this covers every exit
+        #: path, which is what a coordinator fanning a query out across
+        #: shards needs to resolve its merge.
+        self.on_terminal: typing.Callable[["Transaction"], None] | None = \
+            None
 
     # ------------------------------------------------------------------
     @property
@@ -105,11 +114,14 @@ class Transaction:
     def status(self, new: TxnStatus) -> None:
         old = self._status
         self._status = new
-        if (self._queue is not None
-                and new not in LIVE_STATUSES and old in LIVE_STATUSES):
-            # Died while queued (e.g. superseded by a newer update):
-            # tell the owning queue so its live accounting stays exact.
-            self._queue._note_death(self)
+        if new not in LIVE_STATUSES and old in LIVE_STATUSES:
+            if self._queue is not None:
+                # Died while queued (e.g. superseded by a newer update):
+                # tell the owning queue so its live accounting stays
+                # exact.
+                self._queue._note_death(self)
+            if self.on_terminal is not None:
+                self.on_terminal(self)
 
     @property
     def is_query(self) -> bool:
@@ -152,7 +164,7 @@ class Query(Transaction):
     """
 
     __slots__ = ("items", "qc", "lifetime_deadline", "staleness",
-                 "qos_profit", "qod_profit", "degraded")
+                 "qos_profit", "qod_profit", "degraded", "shadow_priced")
 
     def __init__(self, arrival_time: float, exec_time: float,
                  items: typing.Sequence[str],
@@ -178,6 +190,12 @@ class Query(Transaction):
         #: cached state at reduced cost; the QoD half of the contract is
         #: forfeited at commit.  See :meth:`apply_brownout`.
         self.degraded = False
+        #: Shadow pricing: the contract shapes scheduling priority only;
+        #: the server credits zero profit at commit because the contract
+        #: is priced (and credited) by a coordinating layer — e.g. the
+        #: shard planner's sub-queries, whose parent carries the real
+        #: contract.  Prevents double-counting one contract's dollars.
+        self.shadow_priced = False
 
     def apply_brownout(self, factor: float) -> None:
         """Degrade to a brownout answer: cheaper to serve, QoD forfeited.

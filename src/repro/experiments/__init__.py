@@ -17,6 +17,8 @@ from .recovery import (RECOVERY_CHECKPOINTS_MS, RECOVERY_CRASH_AT_MS,
 from .replication import (MetricSummary, compare_policies, replicate)
 from .report import format_series, format_table, save_csv
 from .runner import QCSource, free_qc_source, run_simulation
+from .scaleout import (SHARD_COUNTS, ShardedResult, hot_key_spec,
+                       run_sharded_simulation, shard_sweep, skew_sweep)
 from .tables import table3, table4
 
 __all__ = [
@@ -64,8 +66,14 @@ __all__ = [
     "format_series",
     "format_table",
     "free_qc_source",
+    "hot_key_spec",
+    "run_sharded_simulation",
     "run_simulation",
     "save_csv",
+    "SHARD_COUNTS",
+    "shard_sweep",
+    "ShardedResult",
+    "skew_sweep",
     "table3",
     "table4",
     "table4_grid",

@@ -98,6 +98,20 @@ class QualityContract:
             qod_profit = 0.0
         return qos_profit, qod_profit
 
+    def scaled(self, factor: float) -> "QualityContract":
+        """A copy whose dollar amounts are ``factor`` times this one's.
+
+        Thresholds (``rtmax``, ``uumax``), composition mode, and lifetime
+        are preserved, so deadline-driven schedulers treat the scaled
+        contract exactly like the original — only its weight in
+        profit-mass-driven policies (QUTS ρ) shrinks.  The shard planner
+        uses this to split one contract across fan-out sub-queries.
+        """
+        from .functions import ScaledProfit
+        return QualityContract(ScaledProfit(self.qos, factor),
+                               ScaledProfit(self.qod, factor),
+                               mode=self.mode, lifetime=self.lifetime)
+
     # ------------------------------------------------------------------
     # The paper's two canonical shapes
     # ------------------------------------------------------------------

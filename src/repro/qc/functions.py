@@ -131,6 +131,38 @@ class LinearProfit(ProfitFunction):
         return self.threshold
 
 
+class ScaledProfit(ProfitFunction):
+    """``factor`` times another profit function (same shape, scaled $).
+
+    Used by the shard planner to hand each sub-query a proportional slice
+    of the parent contract: the slice keeps the parent's deadlines (the
+    thresholds are untouched) so priority-based schedulers order the
+    sub-query like the parent, while the dollar amounts stay bounded by
+    the parent's.  ``factor = 0`` degenerates to :class:`ZeroProfit`
+    semantics — construct that instead where possible.
+    """
+
+    def __init__(self, base: ProfitFunction, factor: float) -> None:
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError(f"factor must be in [0, 1], got {factor}")
+        self.base = base
+        self.factor = factor
+
+    def __repr__(self) -> str:
+        return f"ScaledProfit({self.factor:g} * {self.base!r})"
+
+    def profit(self, metric_value: float) -> float:
+        return self.factor * self.base.profit(metric_value)
+
+    @property
+    def max_profit(self) -> float:
+        return self.factor * self.base.max_profit
+
+    @property
+    def zero_after(self) -> float:
+        return self.base.zero_after
+
+
 class PiecewiseLinearProfit(ProfitFunction):
     """An arbitrary non-increasing polyline ``[(metric, profit), ...]``.
 

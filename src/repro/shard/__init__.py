@@ -1,0 +1,33 @@
+"""repro.shard — sharded multi-portal scale-out.
+
+The keyspace is partitioned across shards by a deterministic
+consistent-hash ring (:class:`HashRing`); each shard is a full
+:class:`~repro.cluster.portal.ReplicatedPortal`.  Queries are planned
+over the ring by the :class:`ShardPlanner` (owner routing, scatter-
+gather fan-out with deadline propagation and partial-result
+degradation); replicas within a shard are picked by the
+:class:`StalenessAwareRouter` (Dynamo expected-staleness model); the
+:class:`ShardedPortal` ties it together and, when given a
+:class:`RebalanceConfig`, rebalances ring weight away from hot shards
+with a deterministic drain → copy → cutover migration.
+
+See ``docs/API.md`` §18 and ``repro.experiments.scaleout`` for the
+driver; ``benchmarks/test_shard_scaleout.py`` measures profit vs shard
+count and static-vs-rebalancing rings under Zipf hot-key skew.
+"""
+
+from .planner import FanoutState, ShardPlanner
+from .portal import RebalanceConfig, ShardedPortal
+from .ring import DEFAULT_VNODES_PER_WEIGHT, HashRing
+from .router import StalenessAwareRouter, UpdateRateTracker
+
+__all__ = [
+    "DEFAULT_VNODES_PER_WEIGHT",
+    "FanoutState",
+    "HashRing",
+    "RebalanceConfig",
+    "ShardPlanner",
+    "ShardedPortal",
+    "StalenessAwareRouter",
+    "UpdateRateTracker",
+]

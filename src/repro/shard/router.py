@@ -1,0 +1,149 @@
+"""Staleness-aware replica selection (the Dynamo expected-staleness model).
+
+PAPERS.md's "Minimizing Content Staleness in Dynamo-Style Replicated
+Storage Systems" scores a replica by the staleness a read served there is
+*expected* to see, not by queue lengths alone; Liu & Ji's
+performance-vs-freshness tradeoff motivates measuring that expectation in
+simulated **age**, not unapplied-update counts.  The
+:class:`StalenessAwareRouter` reproduces that model on top of the shared
+freshness metric exposed by :mod:`repro.cluster.routers`:
+
+``expected staleness = current age + backlog x per-update cost x
+(1 + hotness)``
+
+* *current age* — how long the read set has already been stale on the
+  replica (:func:`repro.cluster.routers.staleness_age`);
+* *backlog* — pending updates queued on the replica: each delays the
+  catch-up by roughly one update service time;
+* *hotness* — a per-key update-rate EWMA (maintained from the update
+  stream via :meth:`StalenessAwareRouter.observe_update`): a read set
+  whose keys are refreshed every few ms goes stale again immediately, so
+  backlog on its replicas is weighted up.
+
+The score is blended with the query's own preference (a QoD-heavy
+contract weighs expected staleness; a QoS-heavy one weighs the query
+queue) and with the gray-failure health signal (a replica whose circuit
+breaker is not CLOSED pays a flat penalty — it may be routable only
+because every breaker tripped and routing failed open).
+
+Everything is deterministic: no randomness, pure arithmetic over
+simulated-clock state, ties broken by replica index.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.health import CLOSED
+from repro.cluster.routers import Router, staleness_age, update_backlog
+from repro.db.transactions import Query
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.portal import ReplicaHandle
+
+
+class UpdateRateTracker:
+    """Per-key inter-arrival EWMA over the update stream.
+
+    ``observe(key, now)`` folds one arrival in; ``rate(key)`` is the
+    estimated update rate in updates/ms (0.0 for keys never observed or
+    observed once — no gap, no rate).
+    """
+
+    __slots__ = ("alpha", "_last", "_gap_ewma")
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._last: dict[str, float] = {}
+        self._gap_ewma: dict[str, float] = {}
+
+    def observe(self, key: str, now: float) -> None:
+        last = self._last.get(key)
+        self._last[key] = now
+        if last is None:
+            return
+        gap = now - last
+        current = self._gap_ewma.get(key)
+        self._gap_ewma[key] = (gap if current is None
+                               else current + self.alpha * (gap - current))
+
+    def rate(self, key: str) -> float:
+        """Estimated update rate for ``key``, updates per ms."""
+        gap = self._gap_ewma.get(key)
+        if gap is None or gap <= 0.0:
+            return 0.0
+        return 1.0 / gap
+
+    def hotness(self, keys: typing.Iterable[str]) -> float:
+        """The read set's worst-case rate (its hottest key)."""
+        return max((self.rate(key) for key in keys), default=0.0)
+
+
+class StalenessAwareRouter(Router):
+    """Pick the replica minimising blended expected staleness.
+
+    ``backlog_ms_per_update`` approximates one update's service +
+    queueing cost; ``hotness_scale`` converts the rate EWMA into a
+    backlog multiplier; ``queue_ms_per_query`` prices the query queue
+    for the QoS side of the blend; ``breaker_penalty_ms`` is the flat
+    health penalty for a not-CLOSED breaker.
+    """
+
+    name = "staleness-aware"
+
+    def __init__(self, backlog_ms_per_update: float = 4.0,
+                 hotness_scale: float = 100.0,
+                 queue_ms_per_query: float = 4.0,
+                 breaker_penalty_ms: float = 1_000.0,
+                 rate_alpha: float = 0.2) -> None:
+        if backlog_ms_per_update < 0 or queue_ms_per_query < 0:
+            raise ValueError("per-item costs must be >= 0")
+        if hotness_scale < 0 or breaker_penalty_ms < 0:
+            raise ValueError("scales must be >= 0")
+        self.backlog_ms_per_update = backlog_ms_per_update
+        self.hotness_scale = hotness_scale
+        self.queue_ms_per_query = queue_ms_per_query
+        self.breaker_penalty_ms = breaker_penalty_ms
+        self.rates = UpdateRateTracker(alpha=rate_alpha)
+
+    # -- the update-rate watermark --------------------------------------
+    def observe_update(self, key: str, now: float) -> None:
+        """Fold one update arrival into the per-key rate EWMA."""
+        self.rates.observe(key, now)
+
+    # -- the expected-staleness model -----------------------------------
+    def expected_staleness_ms(self, replica: "ReplicaHandle",
+                              keys: typing.Sequence[str],
+                              now: float) -> float:
+        """Expected read-set staleness (ms) if served by ``replica``."""
+        age = staleness_age(replica, keys, now)
+        backlog = update_backlog(replica)
+        hot = self.hotness_scale * self.rates.hotness(keys)
+        return age + backlog * self.backlog_ms_per_update * (1.0 + hot)
+
+    def _health_penalty(self, replica: "ReplicaHandle") -> float:
+        breaker = getattr(replica, "breaker", None)
+        if breaker is None or breaker.state == CLOSED:
+            return 0.0
+        return self.breaker_penalty_ms
+
+    # -- Router ----------------------------------------------------------
+    def choose(self, query: Query,
+               replicas: "typing.Sequence[ReplicaHandle]") -> int:
+        healthy = self.healthy_indices(replicas)
+        now = replicas[healthy[0]].server.env.now
+        total = query.qc.total_max
+        qod_share = query.qc.qod_max / total if total > 0 else 0.0
+
+        def score(index: int) -> float:
+            replica = replicas[index]
+            freshness = self.expected_staleness_ms(replica, query.items,
+                                                   now)
+            latency = (replica.pending_queries()
+                       * self.queue_ms_per_query)
+            return (qod_share * freshness + (1.0 - qod_share) * latency
+                    + self._health_penalty(replica))
+
+        return min(healthy, key=lambda i: (score(i), i))

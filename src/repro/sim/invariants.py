@@ -139,6 +139,18 @@ class InvariantMonitor:
                     f"incomplete gap re-sync on replica "
                     f"{data.get('replica')}: window dropped {dropped} "
                     f"update(s) but the heal re-delivered {resynced}")
+        elif kind == "shard_cutover":
+            # Migration completeness: every update frozen while a key
+            # range moved between shards must be replayed on the
+            # destination at cutover — none lost, none duplicated.
+            buffered = data.get("buffered", 0)
+            replayed = data.get("replayed", 0)
+            if replayed != buffered:
+                self._fail(
+                    f"unbalanced shard migration "
+                    f"{data.get('source')} -> {data.get('dest')}: "
+                    f"{buffered} update(s) buffered during the move but "
+                    f"{replayed} replayed at cutover")
 
     def _track(self, kind: str, txn_id: int) -> None:
         state = self._ledger.get(txn_id)

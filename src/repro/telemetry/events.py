@@ -38,10 +38,12 @@ CAT_SCHED = "sched"
 CAT_CLUSTER = "cluster"
 #: Kernel statistics: events processed per kind.
 CAT_KERNEL = "kernel"
+#: Shard layer: fan-out/merge chains, migrations, ring rebalances.
+CAT_SHARD = "shard"
 
 #: Every known category (the Tracer default enables all of them).
 CATEGORIES: frozenset[str] = frozenset(
-    {CAT_TXN, CAT_SCHED, CAT_CLUSTER, CAT_KERNEL})
+    {CAT_TXN, CAT_SCHED, CAT_CLUSTER, CAT_KERNEL, CAT_SHARD})
 
 # ----------------------------------------------------------------------
 # Transaction lifecycle event names (category "txn")
@@ -92,6 +94,17 @@ CLUSTER_WINDOW = "loss_window"     #: a lossy update window opened
 CLUSTER_HEAL = "heal"              #: a lossy window closed + re-sync ran
 CLUSTER_BREAKER = "breaker"        #: a circuit breaker changed state
 CLUSTER_WAL_CORRUPT = "wal_corrupt"  #: recovery refused a damaged WAL tail
+
+# ----------------------------------------------------------------------
+# Shard event names (category "shard")
+# ----------------------------------------------------------------------
+SHARD_ROUTE = "route"              #: a single-shard query routed to its owner
+SHARD_FANOUT = "fanout"            #: a multi-shard query split into subs
+SHARD_MERGE = "merge"              #: a fan-out parent resolved (span end)
+SHARD_MIGRATE_START = "migrate_start"  #: a key range froze for migration
+SHARD_MIGRATE_COPY = "migrate_copy"    #: drained + snapshot copied
+SHARD_CUTOVER = "cutover"          #: buffer replayed, ownership flipped
+SHARD_REBALANCE = "rebalance"      #: the controller moved ring weight
 
 #: Args payload type: small, JSON-serialisable mappings only.
 Args = typing.Optional[typing.Dict[str, typing.Any]]

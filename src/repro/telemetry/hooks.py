@@ -88,6 +88,9 @@ class TelemetrySession:
     def kernel_probe(self, scope: str = "kernel") -> "KernelProbe":
         return KernelProbe(self.registry.scoped(scope))
 
+    def shard_probe(self, scope: str = "shard") -> "ShardProbe":
+        return ShardProbe(self.tracer, self.registry.scoped(scope), scope)
+
 
 #: What the ``telemetry=`` keyword accepts throughout the stack.
 TelemetryKnob = typing.Union[None, bool, TelemetryConfig, TelemetrySession]
@@ -439,6 +442,71 @@ class ClusterProbe:
     def corrupt(self, now: float, replica: int, records: int) -> None:
         self._mark(now, ev.CLUSTER_WAL_CORRUPT, -1,
                    {"replica": replica, "records": records})
+
+
+class ShardProbe:
+    """Shard-layer happenings: routing, fan-out chains, migrations.
+
+    Point events land on the ``<scope>/planner`` lane (routing and
+    rebalancing decisions) while each resolved fan-out additionally
+    emits a *span* covering submit → merge on ``<scope>/fanout`` — in
+    Perfetto the fan-out lane reads as a chain of scatter-gather
+    windows, one per multi-shard query, with the sub-query lifecycle
+    events nested on the per-shard ``shardN/replicaM`` tracks below.
+    """
+
+    __slots__ = ("tracer", "metrics", "scope", "_track", "_fanout_track")
+
+    def __init__(self, tracer: Tracer, metrics: ScopedRegistry,
+                 scope: str) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.scope = scope
+        self._track = f"{scope}/planner"
+        self._fanout_track = f"{scope}/fanout"
+
+    def _mark(self, now: float, name: str, txn_id: int = -1,
+              args: dict[str, typing.Any] | None = None) -> None:
+        self.tracer.instant(now, ev.CAT_SHARD, name, self._track,
+                            txn_id, args)
+        self.metrics.counter(f"shard/{name}").increment()
+
+    def route(self, now: float, txn: "Transaction", shard: int) -> None:
+        self._mark(now, ev.SHARD_ROUTE, txn.txn_id, {"shard": shard})
+
+    def fanout(self, now: float, txn: "Transaction",
+               shards: list[int]) -> None:
+        self._mark(now, ev.SHARD_FANOUT, txn.txn_id,
+                   {"shards": shards, "width": len(shards)})
+
+    def merge(self, now: float, txn: "Transaction", submitted: float,
+              committed: int, failed: int, degraded: bool) -> None:
+        self._mark(now, ev.SHARD_MERGE, txn.txn_id,
+                   {"committed": committed, "failed": failed,
+                    "degraded": degraded})
+        self.tracer.span(submitted, now - submitted, ev.CAT_SHARD,
+                         "fanout_window", self._fanout_track, txn.txn_id,
+                         {"committed": committed, "failed": failed})
+
+    def migrate_start(self, now: float, source: int, dest: int,
+                      keys: int) -> None:
+        self._mark(now, ev.SHARD_MIGRATE_START, -1,
+                   {"source": source, "dest": dest, "keys": keys})
+
+    def migrate_copy(self, now: float, source: int, dest: int,
+                     items: int) -> None:
+        self._mark(now, ev.SHARD_MIGRATE_COPY, -1,
+                   {"source": source, "dest": dest, "items": items})
+
+    def cutover(self, now: float, source: int, dest: int,
+                replayed: int) -> None:
+        self._mark(now, ev.SHARD_CUTOVER, -1,
+                   {"source": source, "dest": dest, "replayed": replayed})
+
+    def rebalance(self, now: float, hot: int, cold: int,
+                  moved_keys: int) -> None:
+        self._mark(now, ev.SHARD_REBALANCE, -1,
+                   {"hot": hot, "cold": cold, "moved_keys": moved_keys})
 
 
 class KernelProbe:

@@ -1,0 +1,44 @@
+"""Split a trace's update stream by shard ownership.
+
+In a sharded deployment each portal only pays for the updates to the
+keys it owns — that is the whole point of partitioning (replication
+makes every portal absorb all 4,608 stock streams; sharding divides
+them).  ``split_update_streams`` performs that division **at trace
+level**, against the run's *initial* ring: the driver feeds each
+per-shard stream from its own source process, and any key that later
+migrates is re-routed live by :meth:`repro.shard.ShardedPortal.
+route_update` (ring lookup happens again at delivery time, so a
+generation-time split stays correct across rebalances — the split only
+decides which source process carries the record, not which shard
+finally applies it).
+
+Queries are *not* split here: their read sets are planned per-query by
+the :class:`~repro.shard.ShardPlanner` since a multi-stock query may
+span shards.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.workload.traces import Trace, UpdateRecord
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from repro.shard.ring import HashRing
+
+
+def split_update_streams(trace: Trace,
+                         ring: "HashRing") -> list[list[UpdateRecord]]:
+    """Partition ``trace.updates`` by initial ring owner.
+
+    Returns one time-ordered list per shard (``trace.updates`` is
+    already sorted by arrival, and a stable partition preserves that).
+    Every record lands in exactly one stream, so the union is the
+    original update load — the conservation the sharded determinism
+    test asserts.
+    """
+    streams: list[list[UpdateRecord]] = [
+        [] for _ in range(ring.n_shards)]
+    for record in trace.updates:
+        streams[ring.owner(record.item)].append(record)
+    return streams

@@ -393,7 +393,8 @@ class TestSummaryAndCli:
                       "--out", str(tmp_path / "t.json")])
 
     def test_all_categories_exported(self):
-        assert CATEGORIES == {"txn", "sched", "cluster", "kernel"}
+        assert CATEGORIES == {"txn", "sched", "cluster", "kernel",
+                              "shard"}
 
     def test_session_rejects_disabled_config(self):
         with pytest.raises(ValueError):
